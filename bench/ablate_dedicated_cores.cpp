@@ -1,0 +1,69 @@
+// Ablation (§V-A): how many dedicated cores per node?
+//
+// "In this work, we have used only one dedicated core per node, as it
+// turned out to be an optimal choice." — sweep K = 1..4 under symmetric
+// semantics: each extra dedicated core removes a compute core (the
+// remaining ranks' subdomains grow by cores/(cores-K)), while the
+// writers' per-file volume shrinks. On a 12-core Kraken node the
+// compute-time loss quickly outweighs the I/O gain; the crossover only
+// moves with very I/O-heavy cadences.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cm1/workload.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace dmr;
+using strategies::RunConfig;
+using strategies::StrategyKind;
+
+namespace {
+
+void sweep(const char* label, RunConfig base, int cores_per_node) {
+  std::printf("\n%s\n", label);
+  Table t({"dedicated cores", "run time (s)", "writer write avg (s)",
+           "spare fraction", "files/phase"});
+  const auto standard = base.workload;
+  for (int k = 1; k <= 4; ++k) {
+    RunConfig cfg = base;
+    cfg.damaris.dedicated_cores_per_node = k;
+    cfg.workload = cm1::scale_for_dedicated(standard, cores_per_node, k);
+    cfg.workload.write_interval = standard.write_interval;
+    auto res = run_strategy(cfg);
+    t.add_row({std::to_string(k), Table::num(res.total_runtime, 1),
+               Table::num(res.dedicated_write_seconds.mean(), 2),
+               Table::num(res.dedicated_spare_fraction, 3),
+               std::to_string(res.nodes * k)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — dedicated cores per node (symmetric semantics)",
+                "Section V-A discussion",
+                "K=1 optimal on 12-core nodes: extra dedicated cores cost "
+                "compute more than they gain I/O");
+
+  // Kraken: 12-core nodes, 10 iterations + writes every 5.
+  {
+    RunConfig base = experiments::kraken_config(
+        StrategyKind::kDamaris, 1152, /*iterations=*/10,
+        /*write_interval=*/5);
+    base.workload = cm1::kraken_workload(false);  // standard; sweep rescales
+    base.workload.write_interval = 5;
+    sweep("Kraken, 1152 cores, write every 5 iterations", base, 12);
+  }
+
+  // Grid'5000: 24-core nodes — the relative cost of a dedicated core is
+  // half, so K=2 hurts less (but still does not pay off here).
+  {
+    RunConfig base = experiments::grid5000_config(
+        StrategyKind::kDamaris, 672, /*iterations=*/10, /*write_interval=*/5);
+    base.workload = cm1::grid5000_workload(false);
+    base.workload.write_interval = 5;
+    sweep("Grid'5000, 672 cores, write every 5 iterations", base, 24);
+  }
+  return 0;
+}

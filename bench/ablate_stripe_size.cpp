@@ -1,0 +1,66 @@
+// Ablation: Lustre stripe size under collective I/O — a KNOWN DEVIATION.
+//
+// Paper §IV-C1: "By setting the stripe size to 32 MB instead of 1 MB in
+// Lustre, the write time went up to 1600 sec with Collective-I/O". That
+// pathology comes from Lustre's client write-back cache: when the lock
+// granularity (a stripe) exceeds the collective buffer, every flush
+// revokes another client's dirty 32 MB extent and forces synchronous
+// write-out — an amplification this queueing model deliberately does not
+// include. In the model, larger stripes only mean fewer, larger server
+// ops, so collective I/O *speeds up* with stripe size here. The sweep is
+// kept because it documents exactly where the model and the real system
+// part ways (see EXPERIMENTS.md), and because the Damaris half of the
+// comparison — insensitivity to the knob — does reproduce.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace dmr;
+using strategies::RunConfig;
+using strategies::StrategyKind;
+
+int main() {
+  bench::banner("Ablation — Lustre stripe size (known deviation)",
+                "the 1 MB vs 32 MB stripe anecdote of Section IV-C1",
+                "paper: 32 MB stripes ~3x the collective phase via dirty-"
+                "extent flush amplification, which this model omits; the "
+                "model instead shows the pure op-aggregation effect");
+
+  Table t({"stripe size", "phase avg (s)", "phase max (s)",
+           "throughput (MiB/s)", "lock revocations"});
+  for (Bytes stripe : {1 * MiB, 4 * MiB, 32 * MiB}) {
+    RunConfig cfg = experiments::kraken_config(StrategyKind::kCollectiveIo,
+                                               4608, /*iterations=*/3,
+                                               /*write_interval=*/1);
+    cfg.platform.fs.stripe_size = stripe;
+    auto res = run_strategy(cfg);
+    t.add_row({format_bytes(stripe),
+               Table::num(res.phase_seconds.mean(), 1),
+               Table::num(res.phase_seconds.max(), 1),
+               bench::mib_per_s(res.aggregate_throughput),
+               std::to_string(res.fs_stats.lock_revocations)});
+  }
+  t.print();
+  std::printf(
+      "\nNOTE: the collective trend above is opposite to the paper's "
+      "anecdote — see the header comment and EXPERIMENTS.md.\n");
+
+  std::printf("\nDamaris is insensitive to the same knob (its per-node "
+              "files stream sequentially), which does match the paper's "
+              "robustness story:\n");
+  Table d({"stripe size", "writer write avg (s)", "throughput (GiB/s)"});
+  for (Bytes stripe : {1 * MiB, 32 * MiB}) {
+    RunConfig cfg = experiments::kraken_config(StrategyKind::kDamaris, 4608,
+                                               /*iterations=*/3,
+                                               /*write_interval=*/1,
+                                               /*iteration_seconds=*/30.0);
+    cfg.platform.fs.stripe_size = stripe;
+    auto res = run_strategy(cfg);
+    d.add_row({format_bytes(stripe),
+               Table::num(res.dedicated_write_seconds.mean(), 2),
+               bench::gib_per_s(res.aggregate_throughput)});
+  }
+  d.print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (§V-B positioning): what if the data handoff were not
+// node-local shared memory?
+//
+// The paper contrasts Damaris with (a) functional-partitioning designs
+// that route through a FUSE mount ("about 10 times slower in
+// transferring data than using shared memory") and (b)
+// PreDatA/active-buffer style *dedicated nodes*, where data leaves the
+// compute node over the network and fans into a few staging nodes.
+// This bench swaps only the transport and keeps everything else fixed.
+//
+// Expected shape: shared memory keeps the visible write at ~0.2 s; FUSE
+// multiplies it by ~the kernel-copy factor; dedicated nodes inflate it
+// with NIC/fan-in contention AND consume extra nodes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace dmr;
+using strategies::RunConfig;
+using strategies::StrategyKind;
+using strategies::Transport;
+
+int main() {
+  bench::banner("Ablation — data handoff transport (Damaris vs §V-B "
+                "alternatives)",
+                "Section V-B discussion",
+                "shm ~0.2s visible; FUSE ~10x slower handoff; dedicated "
+                "nodes pay NIC fan-in and extra resources");
+
+  Table t({"transport", "visible write avg (s)", "visible write max (s)",
+           "writer write avg (s)", "throughput (GiB/s)", "extra nodes"});
+  for (Transport tr : {Transport::kSharedMemory, Transport::kFuse,
+                       Transport::kDedicatedNodes}) {
+    RunConfig cfg = experiments::kraken_config(StrategyKind::kDamaris, 2304,
+                                               /*iterations=*/4,
+                                               /*write_interval=*/1,
+                                               /*iteration_seconds=*/30.0);
+    cfg.damaris.transport = tr;
+    auto res = run_strategy(cfg);
+    t.add_row({strategies::transport_name(tr),
+               Table::num(res.rank_write_seconds.mean(), 3),
+               Table::num(res.rank_write_seconds.max(), 3),
+               Table::num(res.dedicated_write_seconds.mean(), 2),
+               bench::gib_per_s(res.aggregate_throughput),
+               std::to_string(res.staging_nodes)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "strategies/strategy.hpp"
+
+namespace dmr::bench {
+
+inline void banner(const char* experiment, const char* paper_ref,
+                   const char* expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Paper expectation: %s\n", expectation);
+  std::printf("==========================================================\n");
+}
+
+inline std::string gib_per_s(double bytes_per_sec) {
+  return Table::num(bytes_per_sec / static_cast<double>(GiB), 2);
+}
+
+inline std::string mib_per_s(double bytes_per_sec) {
+  return Table::num(bytes_per_sec / static_cast<double>(MiB), 0);
+}
+
+}  // namespace dmr::bench

@@ -1,0 +1,59 @@
+// Figure 4: (a) scalability factor S = N * C576 / T_N and (b) overall
+// run time of CM1 for 50 iterations and one write phase on Kraken.
+//
+// Paper: Damaris scales nearly perfectly where the other approaches
+// fail; at 9216 cores the execution time is cut by 35% vs
+// file-per-process and divided by 3.5 vs collective I/O.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace dmr;
+using strategies::RunConfig;
+using strategies::StrategyKind;
+
+int main() {
+  bench::banner("Figure 4 — CM1 scalability on Kraken (50 iters + 1 write)",
+                "Fig. 4a/4b, Section IV-C2",
+                "Damaris ~perfect scaling; -35% vs FPP and /3.5 vs "
+                "collective at 9216 cores");
+
+  constexpr int kIters = 50;
+  // C576: 50 iterations at 576 cores, no I/O, no dedicated core.
+  const double c576 =
+      run_strategy(experiments::kraken_config(StrategyKind::kNoIo, 576,
+                                              kIters, kIters))
+          .total_runtime;
+  std::printf("C576 (no-I/O baseline at 576 cores) = %.1f s\n\n", c576);
+
+  Table t({"cores", "approach", "run time (s)", "S factor", "perfect S"});
+  double fpp9216 = 0, coll9216 = 0, dam9216 = 0;
+  for (int cores : experiments::kraken_scales()) {
+    for (StrategyKind kind :
+         {StrategyKind::kFilePerProcess, StrategyKind::kCollectiveIo,
+          StrategyKind::kDamaris}) {
+      RunConfig cfg = experiments::kraken_config(kind, cores, kIters,
+                                                 /*write_interval=*/kIters);
+      auto res = run_strategy(cfg);
+      const double s =
+          strategies::scalability_factor(cores, res.total_runtime, c576);
+      t.add_row({std::to_string(cores), strategies::strategy_name(kind),
+                 Table::num(res.total_runtime, 1), Table::num(s, 0),
+                 std::to_string(cores)});
+      if (cores == 9216) {
+        if (kind == StrategyKind::kFilePerProcess) fpp9216 = res.total_runtime;
+        if (kind == StrategyKind::kCollectiveIo) coll9216 = res.total_runtime;
+        if (kind == StrategyKind::kDamaris) dam9216 = res.total_runtime;
+      }
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nAt 9216 cores: Damaris cuts run time by %.0f%% vs "
+      "file-per-process (paper: 35%%) and divides it by %.2f vs "
+      "collective I/O (paper: 3.5)\n",
+      100.0 * (1.0 - dam9216 / fpp9216), coll9216 / dam9216);
+  return 0;
+}

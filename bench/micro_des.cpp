@@ -1,0 +1,96 @@
+// Micro-benchmarks of the discrete-event engine: raw event throughput,
+// coroutine process switching, processor-sharing link updates — the
+// costs that bound how fast the 9216-core experiments simulate.
+#include <benchmark/benchmark.h>
+
+#include "des/channel.hpp"
+#include "des/engine.hpp"
+#include "des/process.hpp"
+#include "des/resources.hpp"
+
+namespace {
+
+using namespace dmr;
+using namespace dmr::des;
+
+void BM_EngineTimerEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine eng;
+    eng.spawn([](Engine& e) -> Process {
+      for (int i = 0; i < 10000; ++i) co_await e.delay(1.0);
+    }(eng));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineTimerEvents);
+
+void BM_ManyProcessesInterleaved(benchmark::State& state) {
+  const int n = state.range(0);
+  for (auto _ : state) {
+    Engine eng;
+    for (int p = 0; p < n; ++p) {
+      eng.spawn([](Engine& e) -> Process {
+        for (int i = 0; i < 100; ++i) co_await e.delay(1.0);
+      }(eng));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 100);
+}
+BENCHMARK(BM_ManyProcessesInterleaved)->Arg(100)->Arg(1000);
+
+void BM_SharedLinkFlows(benchmark::State& state) {
+  // n concurrent flows through one processor-sharing link (the 9216-rank
+  // storage-network pattern).
+  const int n = state.range(0);
+  for (auto _ : state) {
+    Engine eng;
+    SharedLink link(eng, 1e9);
+    for (int f = 0; f < n; ++f) {
+      eng.spawn([](Engine&, SharedLink& l) -> Process {
+        for (int i = 0; i < 8; ++i) co_await l.transfer(1 << 20);
+      }(eng, link));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_SharedLinkFlows)->Arg(12)->Arg(768)->Arg(9216);
+
+void BM_ServiceQueueCommits(benchmark::State& state) {
+  Engine eng;
+  ServiceQueue q(eng, 1e9, 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.commit(1 << 20));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceQueueCommits);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine eng;
+    Channel<int> a(eng), b(eng);
+    eng.spawn([](Engine&, Channel<int>& in, Channel<int>& out) -> Process {
+      for (int i = 0; i < 1000; ++i) {
+        out.send(co_await in.recv());
+      }
+    }(eng, a, b));
+    eng.spawn([](Engine&, Channel<int>& out, Channel<int>& in) -> Process {
+      out.send(0);
+      for (int i = 0; i < 999; ++i) {
+        int v = co_await in.recv();
+        out.send(v + 1);
+      }
+    }(eng, a, b));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Cluster playground: run the paper's three I/O approaches side by side
+// on a simulated platform of your choosing and watch where the jitter
+// comes from.
+//
+// Usage: ./build/examples/cluster_playground [platform] [cores] [phases]
+//   platform: kraken | grid5000 | blueprint   (default kraken)
+//   cores:    total cores, multiple of the platform's cores/node
+//             (default 1152)
+//   phases:   write phases to simulate (default 4)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace dmr;
+using strategies::RunConfig;
+using strategies::StrategyKind;
+
+int main(int argc, char** argv) {
+  const char* platform = argc > 1 ? argv[1] : "kraken";
+  const int default_cores = std::strcmp(platform, "grid5000") == 0 ? 672
+                            : std::strcmp(platform, "blueprint") == 0
+                                ? 1024
+                                : 1152;
+  const int cores = argc > 2 ? std::atoi(argv[2]) : default_cores;
+  const int phases = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  auto make = [&](StrategyKind kind) -> RunConfig {
+    if (std::strcmp(platform, "grid5000") == 0) {
+      return experiments::grid5000_config(kind, cores, phases, 1);
+    }
+    if (std::strcmp(platform, "blueprint") == 0) {
+      return experiments::blueprint_config(kind, cores, phases, 1, 64.0);
+    }
+    return experiments::kraken_config(kind, cores, phases, 1);
+  };
+
+  std::printf("platform=%s cores=%d phases=%d\n\n", platform, cores, phases);
+  Table t({"approach", "write visible to app (s)", "phase max (s)",
+           "aggregate throughput", "app run time (s)", "stream switches",
+           "lock revocations"});
+  for (StrategyKind kind :
+       {StrategyKind::kFilePerProcess, StrategyKind::kCollectiveIo,
+        StrategyKind::kDamaris}) {
+    auto res = run_strategy(make(kind));
+    t.add_row({strategies::strategy_name(kind),
+               Table::num(res.rank_write_seconds.mean(), 3),
+               Table::num(res.phase_seconds.max(), 2),
+               format_rate(res.aggregate_throughput),
+               Table::num(res.total_runtime, 1),
+               std::to_string(res.fs_stats.stream_switches),
+               std::to_string(res.fs_stats.lock_revocations)});
+    if (kind == StrategyKind::kDamaris) {
+      std::printf("damaris dedicated cores: write %.2f s/iter, spare "
+                  "fraction %.3f\n",
+                  res.dedicated_write_seconds.mean(),
+                  res.dedicated_spare_fraction);
+    }
+  }
+  std::printf("\n");
+  t.print();
+  std::printf(
+      "\nReading the table: the two standard approaches expose the full "
+      "storage-stack contention (stream switches at the servers, lock "
+      "ping-pong for the shared file) to the application; Damaris turns "
+      "the visible cost into a shared-memory copy and absorbs the rest "
+      "in the dedicated cores' spare time.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// dh5_tool — command-line inspector for Damaris output.
+//
+//   dh5_tool ls <dir>                 catalog summary of a directory
+//   dh5_tool info <file.dh5>          datasets of one file
+//   dh5_tool verify <file.dh5>        decode + CRC-check every dataset
+//   dh5_tool field <dir> <var> <it> <px> <py>
+//                                     reassemble the global field and
+//                                     print its statistics
+//
+// This is the post-processing path whose tractability the paper's
+// gathered per-node files are designed to preserve.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "format/dh5.hpp"
+#include "postproc/catalog.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dh5_tool ls <dir>\n"
+               "       dh5_tool info <file.dh5>\n"
+               "       dh5_tool verify <file.dh5>\n"
+               "       dh5_tool field <dir> <variable> <iteration> <px> "
+               "<py>\n");
+  return 2;
+}
+
+int cmd_ls(const char* dir) {
+  auto cat = dmr::postproc::Catalog::scan(dir);
+  if (!cat.is_ok()) {
+    std::fprintf(stderr, "%s\n", cat.status().to_string().c_str());
+    return 1;
+  }
+  const auto& c = cat.value();
+  std::printf("%zu files, %zu datasets, %s raw -> %s stored\n",
+              c.num_files(), c.entries().size(),
+              dmr::format_bytes(c.total_raw_bytes()).c_str(),
+              dmr::format_bytes(c.total_stored_bytes()).c_str());
+  dmr::Table t({"variable", "iterations", "sources/iter"});
+  for (const auto& var : c.variables()) {
+    std::size_t iters = 0, sources = 0;
+    for (std::int64_t it : c.iterations()) {
+      const auto blocks = c.find(var, it);
+      if (!blocks.empty()) {
+        ++iters;
+        sources = blocks.size();
+      }
+    }
+    t.add_row({var, std::to_string(iters), std::to_string(sources)});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  auto reader = dmr::format::Dh5Reader::open(path);
+  if (!reader.is_ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().to_string().c_str());
+    return 1;
+  }
+  dmr::Table t({"name", "iteration", "source", "type", "dims", "raw",
+                "stored", "codecs"});
+  for (const auto& e : reader.value().entries()) {
+    std::string dims;
+    for (std::size_t i = 0; i < e.info.layout.dims.size(); ++i) {
+      dims += (i ? "x" : "") + std::to_string(e.info.layout.dims[i]);
+    }
+    std::string codecs;
+    for (auto id : e.codecs) {
+      const auto* c = dmr::format::codec_for(id);
+      codecs += (codecs.empty() ? "" : "+") + (c ? c->name() : "?");
+    }
+    t.add_row({e.info.name, std::to_string(e.info.iteration),
+               std::to_string(e.info.source),
+               dmr::format::datatype_name(e.info.layout.type), dims,
+               dmr::format_bytes(e.raw_size),
+               dmr::format_bytes(e.stored_size),
+               codecs.empty() ? "-" : codecs});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_verify(const char* path) {
+  auto reader = dmr::format::Dh5Reader::open(path);
+  if (!reader.is_ok()) {
+    std::fprintf(stderr, "OPEN FAILED: %s\n",
+                 reader.status().to_string().c_str());
+    return 1;
+  }
+  int bad = 0;
+  for (std::size_t i = 0; i < reader.value().entries().size(); ++i) {
+    auto data = reader.value().read(i);
+    const auto& e = reader.value().entries()[i];
+    if (!data.is_ok()) {
+      std::printf("FAIL %-16s it=%lld src=%d: %s\n", e.info.name.c_str(),
+                  static_cast<long long>(e.info.iteration), e.info.source,
+                  data.status().to_string().c_str());
+      ++bad;
+    }
+  }
+  std::printf("%zu datasets, %d bad\n", reader.value().entries().size(),
+              bad);
+  return bad ? 1 : 0;
+}
+
+int cmd_field(const char* dir, const char* var, const char* it_str,
+              const char* px_str, const char* py_str) {
+  auto cat = dmr::postproc::Catalog::scan(dir);
+  if (!cat.is_ok()) {
+    std::fprintf(stderr, "%s\n", cat.status().to_string().c_str());
+    return 1;
+  }
+  auto field = dmr::postproc::assemble_field(
+      cat.value(), var, std::atoll(it_str), std::atoi(px_str),
+      std::atoi(py_str));
+  if (!field.is_ok()) {
+    std::fprintf(stderr, "%s\n", field.status().to_string().c_str());
+    return 1;
+  }
+  const auto& f = field.value();
+  std::printf("%s @ it %s: %llux%llux%llu  min=%.5g max=%.5g mean=%.5g\n",
+              var, it_str, static_cast<unsigned long long>(f.nx),
+              static_cast<unsigned long long>(f.ny),
+              static_cast<unsigned long long>(f.nz), f.min(), f.max(),
+              f.mean());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  if (std::strcmp(argv[1], "ls") == 0 && argc == 3) return cmd_ls(argv[2]);
+  if (std::strcmp(argv[1], "info") == 0 && argc == 3) {
+    return cmd_info(argv[2]);
+  }
+  if (std::strcmp(argv[1], "verify") == 0 && argc == 3) {
+    return cmd_verify(argv[2]);
+  }
+  if (std::strcmp(argv[1], "field") == 0 && argc == 7) {
+    return cmd_field(argv[2], argv[3], argv[4], argv[5], argv[6]);
+  }
+  return usage();
+}

@@ -1,0 +1,112 @@
+// Inline steering — the "S" of the Damaris acronym (Dedicated Adaptable
+// Middleware for Application Resources Inline Steering).
+//
+// A monitoring loop (playing the "external tool" of §III-A) watches the
+// analytics the dedicated core publishes and *steers the running
+// simulation*: when the simulated storm's updraft crosses a threshold it
+// raises the output frequency through a steerable parameter; the compute
+// threads poll that parameter each iteration and adapt their output
+// cadence without stopping.
+//
+// Build & run:  ./build/examples/steering
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cm1/solver.hpp"
+#include "config/config.hpp"
+#include "core/damaris.hpp"
+
+namespace {
+
+const char* kConfigXml = R"(
+<damaris>
+  <buffer size="33554432" policy="partitioned"/>
+  <layout name="sub" type="float32" dimensions="32,32,16"/>
+  <variable name="w" layout="sub"/>
+  <event name="analyze" action="stats" scope="global"/>
+  <parameter name="output_interval" value="4"/>
+</damaris>)";
+
+}  // namespace
+
+int main() {
+  auto cfg = dmr::config::Config::from_string(kConfigXml);
+  if (!cfg.is_ok()) {
+    std::fprintf(stderr, "%s\n", cfg.status().to_string().c_str());
+    return 1;
+  }
+
+  dmr::cm1::Cm1Config cm1_cfg;
+  cm1_cfg.nx = 64;
+  cm1_cfg.ny = 64;
+  cm1_cfg.nz = 16;
+  cm1_cfg.px = 2;
+  cm1_cfg.py = 2;
+  cm1_cfg.buoyancy = 0.08;
+
+  dmr::core::NodeOptions opts;
+  opts.output_dir = "steering_out";
+  dmr::core::DamarisNode node(std::move(cfg.value()), 4, opts);
+  if (auto s = node.start(); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  const int kSteps = 24;
+  std::atomic<bool> done{false};
+  std::atomic<int> outputs{0};
+
+  // The steering loop: an external observer, not a client.
+  std::thread steering([&] {
+    bool escalated = false;
+    while (!done.load()) {
+      auto analytics = node.analytics();
+      auto it = analytics.find("w.max");
+      if (!escalated && it != analytics.end() && it->second > 0.5) {
+        std::printf("[steering] updraft %.2f m/s — output every iteration "
+                    "now\n",
+                    it->second);
+        (void)node.set_parameter("output_interval", "1");
+        escalated = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  dmr::cm1::Cm1Solver solver(cm1_cfg);
+  std::vector<std::thread> compute;
+  std::vector<std::vector<float>> packs(4, std::vector<float>(32 * 32 * 16));
+  for (int c = 0; c < 4; ++c) {
+    compute.emplace_back([&, c] {
+      auto client = node.client(c);
+      for (int step = 0; step < kSteps; ++step) {
+        solver.step(c);
+        // Poll the steerable parameter: the cadence can change mid-run.
+        const long long interval =
+            node.parameter_int("output_interval").value_or(4);
+        if (step % interval == 0) {
+          solver.pack_field(c, 3 /*w*/, packs[c]);
+          (void)client.write(
+              "w", step, std::as_bytes(std::span<const float>(packs[c])));
+          (void)client.signal("analyze", step);
+          (void)client.end_iteration(step);
+          if (c == 0) outputs.fetch_add(1);
+        }
+      }
+      (void)client.finalize();
+    });
+  }
+  for (auto& t : compute) t.join();
+  done.store(true);
+  steering.join();
+  (void)node.stop();
+
+  std::printf("steps: %d, output phases: %d (would be %d without "
+              "steering)\n",
+              kSteps, outputs.load(), kSteps / 4);
+  std::printf("final output_interval = %s\n",
+              node.parameter("output_interval").value_or("?").c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "cluster/machine.hpp"
+
+namespace dmr::cluster {
+
+Node::Node(des::Engine& eng, const NodeSpec& spec, int id, Rng noise_rng,
+           const NoiseSpec& noise_spec)
+    : id_(id),
+      spec_(spec),
+      nic_(eng, spec.nic_bandwidth, spec.nic_latency),
+      // The memory bus saturates when every core memcpys at once;
+      // spec.shm_bandwidth is the node's aggregate copy rate.
+      shm_bus_(eng, spec.shm_bandwidth),
+      noise_(noise_spec, noise_rng) {}
+
+Machine::Machine(des::Engine& eng, const PlatformSpec& spec, int num_nodes,
+                 std::uint64_t seed)
+    : eng_(&eng),
+      spec_(spec),
+      seed_(seed),
+      storage_network_(eng, spec.fs.storage_network_bandwidth),
+      fabric_(eng, spec.fabric.bisection_bandwidth, spec.fabric.latency) {
+  nodes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        eng, spec.node, i, Rng::for_entity(seed, 0x4e6f6465ULL + i),
+        spec.noise));
+  }
+}
+
+}  // namespace dmr::cluster

@@ -1,0 +1,81 @@
+// Simulated machine: a set of multicore nodes, each with a NIC shared by
+// its cores (the first level of contention, paper §II-B), connected to a
+// fabric and to the storage network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/noise.hpp"
+#include "cluster/specs.hpp"
+#include "common/rng.hpp"
+#include "des/engine.hpp"
+#include "des/resources.hpp"
+
+namespace dmr::cluster {
+
+/// One SMP node. Cores share the NIC; intra-node transfers go through
+/// shared memory at memcpy speed.
+class Node {
+ public:
+  Node(des::Engine& eng, const NodeSpec& spec, int id, Rng noise_rng,
+       const NoiseSpec& noise_spec);
+
+  int id() const { return id_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  /// The node's network interface (processor-sharing among its cores).
+  des::SharedLink& nic() { return nic_; }
+
+  /// Per-node noise model (each node sees independent OS noise).
+  NoiseModel& noise() { return noise_; }
+
+  /// Time for one core to copy `bytes` into the node's shared memory
+  /// segment. Concurrent copies by different cores contend for memory
+  /// bandwidth through `shm_bus()`.
+  des::SharedLink& shm_bus() { return shm_bus_; }
+
+ private:
+  int id_;
+  NodeSpec spec_;
+  des::SharedLink nic_;
+  des::SharedLink shm_bus_;
+  NoiseModel noise_;
+};
+
+/// The whole platform: nodes + fabric + storage network entry.
+class Machine {
+ public:
+  Machine(des::Engine& eng, const PlatformSpec& spec, int num_nodes,
+          std::uint64_t seed);
+
+  des::Engine& engine() { return *eng_; }
+  const PlatformSpec& spec() const { return spec_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int cores_per_node() const { return spec_.node.cores; }
+  int total_cores() const { return num_nodes() * cores_per_node(); }
+
+  Node& node(int i) { return *nodes_[i]; }
+  /// Node hosting global core index `core` (cores are numbered
+  /// node-major: node = core / cores_per_node).
+  Node& node_of_core(int core) { return *nodes_[core / spec_.node.cores]; }
+
+  /// Aggregate path from compute nodes to the file system servers.
+  des::SharedLink& storage_network() { return storage_network_; }
+
+  /// Fabric used by collective data exchange (aggregation phases).
+  des::SharedLink& fabric() { return fabric_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  des::Engine* eng_;
+  PlatformSpec spec_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  des::SharedLink storage_network_;
+  des::SharedLink fabric_;
+};
+
+}  // namespace dmr::cluster

@@ -1,0 +1,26 @@
+#include "cluster/noise.hpp"
+
+#include <cmath>
+
+namespace dmr::cluster {
+
+SimTime NoiseModel::compute_time(SimTime nominal) {
+  if (spec_.os_noise_sigma <= 0.0) return nominal;
+  // Lognormal with mean exactly 1: mu = -sigma^2/2.
+  const double sigma = spec_.os_noise_sigma;
+  const double factor = rng_.lognormal(-0.5 * sigma * sigma, sigma);
+  return nominal * factor;
+}
+
+SimTime NoiseModel::copy_jitter() {
+  if (spec_.shm_jitter_mean <= 0.0) return 0.0;
+  return rng_.exponential(spec_.shm_jitter_mean);
+}
+
+double NoiseModel::storage_multiplier() {
+  if (spec_.interference_prob <= 0.0) return 1.0;
+  if (!rng_.chance(spec_.interference_prob)) return 1.0;
+  return rng_.pareto(spec_.interference_xm, spec_.interference_alpha);
+}
+
+}  // namespace dmr::cluster

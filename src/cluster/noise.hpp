@@ -1,0 +1,36 @@
+// Variability injection (paper §II-A).
+//
+// NoiseModel draws multiplicative perturbations for compute phases (OS
+// noise, cause 3) and storage operations (cross-application interference,
+// cause 4). Causes 1 and 2 — intra-node and network contention — emerge
+// from the resource models themselves and need no injection.
+#pragma once
+
+#include "cluster/specs.hpp"
+#include "common/rng.hpp"
+
+namespace dmr::cluster {
+
+class NoiseModel {
+ public:
+  NoiseModel(const NoiseSpec& spec, Rng rng) : spec_(spec), rng_(rng) {}
+
+  /// Perturbs a nominal compute duration with mean-one lognormal OS noise.
+  SimTime compute_time(SimTime nominal);
+
+  /// Service-time multiplier for one storage op: 1.0 most of the time, a
+  /// Pareto burst when external interference strikes.
+  double storage_multiplier();
+
+  /// Extra delay for one shared-memory copy (exponential with the spec's
+  /// shm_jitter_mean; 0 when disabled).
+  SimTime copy_jitter();
+
+  const NoiseSpec& spec() const { return spec_; }
+
+ private:
+  NoiseSpec spec_;
+  Rng rng_;
+};
+
+}  // namespace dmr::cluster

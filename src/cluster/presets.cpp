@@ -1,0 +1,133 @@
+#include "cluster/presets.hpp"
+
+namespace dmr::cluster {
+
+PlatformSpec kraken() {
+  PlatformSpec p;
+  p.name = "kraken";
+
+  p.node.cores = 12;
+  p.node.memory = 16 * GiB;
+  p.node.nic_bandwidth = 1.6 * GiB;   // SeaStar2+ sustained injection
+  p.node.nic_latency = 5e-6;
+  p.node.shm_bandwidth = 1.5 * GiB;
+
+  p.noise.os_noise_sigma = 0.004;
+  p.noise.interference_prob = 0.02;   // shared machine: other jobs hit Lustre
+  p.noise.interference_xm = 2.0;
+  p.noise.interference_alpha = 2.5;  // finite variance: jitter, not chaos
+  p.noise.burst_slowdown = 3.0;       // foreign jobs hammer the OSTs
+  p.noise.burst_on_mean = 0.8;        // ~10% duty cycle in short bursts
+  p.noise.burst_off_mean = 7.2;
+  p.noise.storm_slowdown = 2.5;       // a big foreign job every ~40 min
+  p.noise.storm_on_mean = 90.0;
+  p.noise.storm_off_mean = 2400.0;
+  p.noise.shm_jitter_mean = 0.03;
+
+  p.fs.data_servers = 48;             // OSTs reachable by the job
+  p.fs.server_bandwidth = 400.0 * MiB;
+  p.fs.per_op_overhead = 1.0e-3;
+  p.fs.stream_switch_cost = 20.0e-3;  // head thrash between write streams
+  p.fs.stripe_size = 1 * MiB;         // the paper's (good) default
+  p.fs.default_stripe_count = 4;
+  p.fs.metadata = MetadataModel::kSerializedSingleServer;  // Lustre MDS
+  p.fs.metadata_create_cost = 1.5e-3;
+  p.fs.metadata_open_cost = 0.3e-3;
+  p.fs.lock_acquire_cost = 1.0e-3;
+  p.fs.lock_revoke_cost = 15.0e-3;    // extent lock ping-pong on shared files
+  p.fs.shared_write_penalty = 4.0;    // interleaved shared-file writes force
+                                      // read-modify-write at the OSTs
+  p.fs.storage_network_bandwidth = 13.0 * GiB;
+  p.fs.client_stream_rate = 75.0 * MiB;  // HDF5 formatting on one Opteron
+
+  p.fabric.bisection_bandwidth = 120.0 * GiB;
+  p.fabric.latency = 5e-6;
+  p.fabric.alltoall_efficiency = 0.55;  // 3D-torus congestion under alltoall
+  return p;
+}
+
+PlatformSpec grid5000() {
+  PlatformSpec p;
+  p.name = "grid5000";
+
+  p.node.cores = 24;                  // 2 x 12-core AMD on parapluie
+  p.node.memory = 48 * GiB;
+  p.node.nic_bandwidth = 2.3 * GiB;   // 20G IB 4x QDR, effective
+  p.node.nic_latency = 2e-6;
+  p.node.shm_bandwidth = 2.5 * GiB;
+
+  p.noise.os_noise_sigma = 0.006;
+  p.noise.interference_prob = 0.01;   // shared grid testbed
+  p.noise.interference_xm = 1.8;
+  p.noise.interference_alpha = 2.5;
+  p.noise.burst_slowdown = 2.0;       // other grid users share the PVFS
+  p.noise.burst_on_mean = 0.5;
+  p.noise.burst_off_mean = 9.5;
+  p.noise.storm_slowdown = 1.8;
+  p.noise.storm_on_mean = 45.0;
+  p.noise.storm_off_mean = 3000.0;
+  p.noise.shm_jitter_mean = 0.03;
+
+  p.fs.data_servers = 15;             // parapide nodes, data + metadata
+  p.fs.server_bandwidth = 420.0 * MiB;  // page-cache-assisted local disk
+  p.fs.per_op_overhead = 0.8e-3;
+  p.fs.stream_switch_cost = 18.0e-3;
+  p.fs.stripe_size = 1 * MiB;
+  p.fs.default_stripe_count = 4;
+  p.fs.metadata = MetadataModel::kDistributed;  // PVFS spreads metadata
+  p.fs.metadata_create_cost = 2.0e-3;
+  p.fs.metadata_open_cost = 0.4e-3;
+  p.fs.lock_acquire_cost = 0.0;       // PVFS has no byte-range locks; shared
+  p.fs.lock_revoke_cost = 0.0;        // files pay overhead elsewhere
+  p.fs.storage_network_bandwidth = 5.0 * GiB;  // one Voltaire switch
+  p.fs.client_stream_rate = 230.0 * MiB;
+  p.fabric.bisection_bandwidth = 30.0 * GiB;
+  p.fabric.latency = 2e-6;
+  p.fabric.alltoall_efficiency = 0.6;
+  return p;
+}
+
+PlatformSpec blueprint() {
+  PlatformSpec p;
+  p.name = "blueprint";
+
+  p.node.cores = 16;
+  p.node.memory = 64 * GiB;
+  p.node.nic_bandwidth = 1.0 * GiB;   // Federation-era links
+  p.node.nic_latency = 6e-6;
+  p.node.shm_bandwidth = 2.0 * GiB;
+
+  p.noise.os_noise_sigma = 0.005;
+  p.noise.interference_prob = 0.015;
+  p.noise.interference_xm = 1.8;
+  p.noise.interference_alpha = 2.5;
+  p.noise.burst_slowdown = 2.5;
+  p.noise.burst_on_mean = 0.6;
+  p.noise.burst_off_mean = 7.4;
+  p.noise.storm_slowdown = 2.0;
+  p.noise.storm_on_mean = 60.0;
+  p.noise.storm_off_mean = 2800.0;
+  p.noise.shm_jitter_mean = 0.03;
+
+  p.fs.data_servers = 2;              // GPFS on 2 separate nodes
+  p.fs.server_bandwidth = 500.0 * MiB;
+  p.fs.per_op_overhead = 1.2e-3;
+  p.fs.stream_switch_cost = 8.0e-3;
+  p.fs.stripe_size = 1 * MiB;
+  p.fs.default_stripe_count = 2;
+  p.fs.metadata = MetadataModel::kSharedDisk;  // GPFS token-based
+  p.fs.metadata_create_cost = 2.5e-3;
+  p.fs.metadata_open_cost = 0.5e-3;
+  p.fs.lock_acquire_cost = 1.5e-3;    // byte-range tokens
+  p.fs.lock_revoke_cost = 12.0e-3;
+  p.fs.shared_write_penalty = 3.0;    // GPFS token flushes on shared files
+  p.fs.storage_network_bandwidth = 1.0 * GiB;
+  p.fs.client_stream_rate = 120.0 * MiB;
+
+  p.fabric.bisection_bandwidth = 20.0 * GiB;
+  p.fabric.latency = 4e-6;
+  p.fabric.alltoall_efficiency = 0.65;
+  return p;
+}
+
+}  // namespace dmr::cluster

@@ -1,0 +1,24 @@
+// Calibrated platform presets for the three testbeds of the paper's
+// evaluation (§IV-B). Absolute rates are approximations of 2012-era
+// hardware chosen so that the simulated experiments land in the paper's
+// regimes; EXPERIMENTS.md records the paper-vs-measured comparison.
+#pragma once
+
+#include "cluster/specs.hpp"
+
+namespace dmr::cluster {
+
+/// Kraken: Cray XT5, 12 cores/node, 16 GB/node, SeaStar2+ interconnect,
+/// Lustre with a single metadata server, 1 MB default stripes.
+PlatformSpec kraken();
+
+/// Grid'5000: parapluie cluster (24 cores/node, 48 GB) computing, PVFS
+/// deployed on 15 parapide nodes (combined data+metadata servers),
+/// 20G InfiniBand 4x QDR through one Voltaire switch.
+PlatformSpec grid5000();
+
+/// BluePrint: Power5 cluster, 16 cores/node, 64 GB/node, GPFS on two
+/// separate NSD server nodes.
+PlatformSpec blueprint();
+
+}  // namespace dmr::cluster

@@ -1,0 +1,114 @@
+// Plain-data hardware and behaviour specifications for the simulated
+// platforms. These are the knobs the platform presets (presets.hpp)
+// calibrate to approximate Kraken, Grid'5000 and BluePrint.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace dmr::cluster {
+
+/// One multicore SMP node.
+struct NodeSpec {
+  int cores = 12;                      // cores per node
+  Bytes memory = 16 * GiB;             // local memory
+  double nic_bandwidth = 2.0 * GiB;    // node injection bandwidth, B/s
+  SimTime nic_latency = 5e-6;          // per-transfer latency, s
+  double shm_bandwidth = 3.0 * GiB;    // single-core memcpy bandwidth, B/s
+};
+
+/// Sources of run-time variability (paper §II-A: causes 1–4).
+struct NoiseSpec {
+  /// OS / scheduling noise on compute phases: multiplicative lognormal
+  /// with sigma = `os_noise_sigma` (mean-one). 0 disables.
+  double os_noise_sigma = 0.005;
+
+  /// Cross-application interference on storage operations: with
+  /// probability `interference_prob`, an op's service time is multiplied
+  /// by a Pareto(xm=interference_xm, alpha=interference_alpha) factor.
+  double interference_prob = 0.0;
+  double interference_xm = 1.5;
+  double interference_alpha = 2.0;
+
+  /// Correlated interference bursts: other jobs sharing the file system
+  /// hammer a server for seconds at a time (paper §II-A cause 4 — the
+  /// source of phase-to-phase unpredictability). Each server toggles
+  /// independently between OFF (exponential mean `burst_off_mean`) and
+  /// ON (mean `burst_on_mean`); while ON its service times are
+  /// multiplied by `burst_slowdown`. 0 slowdown disables bursts.
+  double burst_slowdown = 0.0;
+  SimTime burst_on_mean = 4.0;
+  SimTime burst_off_mean = 40.0;
+
+  /// Rare machine-wide storms: a large foreign job occasionally saturates
+  /// the whole file system for minutes (all servers at once). These are
+  /// what make one write phase in ten pathologically slow (the paper's
+  /// 481 s average vs ~800 s maximum for collective I/O). 0 disables.
+  double storm_slowdown = 0.0;
+  SimTime storm_on_mean = 60.0;
+  SimTime storm_off_mean = 2000.0;
+
+  /// Variability of the shared-memory copy itself (memory-bus traffic,
+  /// allocator contention): an exponential extra delay with this mean is
+  /// added to each client's copy. This is the paper's ~0.1 s jitter on
+  /// the 0.2 s Damaris write. 0 disables.
+  SimTime shm_jitter_mean = 0.0;
+};
+
+/// Metadata handling style of the simulated parallel file system.
+enum class MetadataModel {
+  kSerializedSingleServer,  // Lustre-like: one MDS, creates serialize
+  kDistributed,             // PVFS-like: metadata spread over servers
+  kSharedDisk,              // GPFS-like: distributed, lock-based
+};
+
+/// Parallel file system deployment.
+struct FsSpec {
+  int data_servers = 48;              // OSTs / I/O servers
+  double server_bandwidth = 400.0 * MiB;  // per-server service rate, B/s
+  SimTime per_op_overhead = 1e-3;     // fixed cost per storage request, s
+  SimTime stream_switch_cost = 10e-3; // extra cost when a server switches
+                                      // between write streams (head thrash /
+                                      // cache eviction between files)
+  Bytes stripe_size = 1 * MiB;        // striping unit
+  int default_stripe_count = 4;       // servers per file unless overridden
+  MetadataModel metadata = MetadataModel::kSerializedSingleServer;
+  SimTime metadata_create_cost = 1.5e-3;  // per file-create, s
+  SimTime metadata_open_cost = 0.3e-3;    // per open of existing file, s
+  /// Byte-range/extent lock costs for shared-file writes.
+  SimTime lock_acquire_cost = 1e-3;
+  SimTime lock_revoke_cost = 15e-3;   // paid when the lock moves between
+                                      // clients (cache flush + grant)
+  /// Service-time multiplier for writes into a *shared* file: interleaved
+  /// writers false-share file blocks, forcing read-modify-write cycles
+  /// and lock-induced cache flushes at the servers. 1.0 disables (PVFS,
+  /// which has no byte-range locks, does not exhibit it).
+  double shared_write_penalty = 1.0;
+  double storage_network_bandwidth = 12.0 * GiB;  // aggregate path from the
+                                      // compute fabric to the FS, B/s
+  /// Per-client serial streaming ceiling (HDF5 formatting + POSIX write
+  /// path is single-threaded on one core): even a lone writer cannot
+  /// push faster than this. 0 disables the cap.
+  double client_stream_rate = 0.0;
+};
+
+/// Interconnect between nodes (used by collective aggregation).
+struct FabricSpec {
+  double bisection_bandwidth = 100.0 * GiB;  // aggregate all-to-all, B/s
+  SimTime latency = 2e-6;
+  /// Effective per-rank bandwidth during dense all-to-all exchange, as a
+  /// fraction of nic_bandwidth (congestion factor < 1).
+  double alltoall_efficiency = 0.7;
+};
+
+/// A complete simulated platform.
+struct PlatformSpec {
+  std::string name;
+  NodeSpec node;
+  NoiseSpec noise;
+  FsSpec fs;
+  FabricSpec fabric;
+};
+
+}  // namespace dmr::cluster

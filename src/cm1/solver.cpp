@@ -1,0 +1,291 @@
+#include "cm1/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dmr::cm1 {
+
+namespace {
+constexpr int kTheta = 0, kU = 1, kV = 2, kW = 3, kQv = 4;
+}  // namespace
+
+/// One rank's worth of grid: interior (lx, ly, lz) plus one-cell halos.
+class Subdomain {
+ public:
+  Subdomain(const Cm1Config& cfg, int cx, int cy, int lx, int ly, int lz,
+            int x0, int y0)
+      : cfg_(cfg), cx_(cx), cy_(cy), lx_(lx), ly_(ly), lz_(lz) {
+    const std::size_t n = volume();
+    for (int f = 0; f < kNumFields; ++f) {
+      cur_[f].assign(n, 0.0f);
+      next_[f].assign(n, 0.0f);
+    }
+    init_bubble(x0, y0);
+  }
+
+  int lx() const { return lx_; }
+  int ly() const { return ly_; }
+  int lz() const { return lz_; }
+  int cx() const { return cx_; }
+  int cy() const { return cy_; }
+
+  std::size_t volume() const {
+    return static_cast<std::size_t>(lx_ + 2) * (ly_ + 2) * (lz_ + 2);
+  }
+
+  std::size_t idx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i) * (ly_ + 2) + j) * (lz_ + 2) + k;
+  }
+
+  float& at(int f, int i, int j, int k) { return cur_[f][idx(i, j, k)]; }
+  float at(int f, int i, int j, int k) const {
+    return cur_[f][idx(i, j, k)];
+  }
+
+  const std::vector<float>& field(int f) const { return cur_[f]; }
+
+  /// Gaussian warm bubble centred in the global domain; x0/y0 are this
+  /// subdomain's global offsets.
+  void init_bubble(int x0, int y0) {
+    const double cxg = cfg_.nx / 2.0, cyg = cfg_.ny / 2.0,
+                 czg = cfg_.nz / 4.0;
+    const double r0 = cfg_.bubble_radius *
+                      std::min({static_cast<double>(cfg_.nx),
+                                static_cast<double>(cfg_.ny),
+                                static_cast<double>(cfg_.nz)});
+    for (int i = 1; i <= lx_; ++i) {
+      for (int j = 1; j <= ly_; ++j) {
+        for (int k = 1; k <= lz_; ++k) {
+          const double gx = x0 + i - 1, gy = y0 + j - 1, gz = k - 1;
+          const double d2 = (gx - cxg) * (gx - cxg) +
+                            (gy - cyg) * (gy - cyg) +
+                            (gz - czg) * (gz - czg);
+          const double r = std::sqrt(d2) / r0;
+          if (r < 1.0) {
+            const float amp = static_cast<float>(
+                cfg_.bubble_amplitude * std::cos(0.5 * M_PI * r) *
+                std::cos(0.5 * M_PI * r));
+            at(kTheta, i, j, k) = amp;
+            at(kQv, i, j, k) = 0.1f * amp;
+          }
+        }
+      }
+    }
+  }
+
+  /// One explicit timestep over the interior using current halos.
+  void step() {
+    const float dt = static_cast<float>(cfg_.dt);
+    const float rdx = static_cast<float>(1.0 / cfg_.dx);
+    const float kdiff =
+        static_cast<float>(cfg_.diffusivity / (cfg_.dx * cfg_.dx));
+    const float buoy = static_cast<float>(cfg_.buoyancy);
+    const float damp = 1.0f - 1e-4f * dt;
+
+    auto upwind = [&](int f, int i, int j, int k, float ui, float vi,
+                      float wi) {
+      const float c = at(f, i, j, k);
+      const float ddx = ui >= 0 ? c - at(f, i - 1, j, k)
+                                : at(f, i + 1, j, k) - c;
+      const float ddy = vi >= 0 ? c - at(f, i, j - 1, k)
+                                : at(f, i, j + 1, k) - c;
+      const float ddz = wi >= 0 ? c - at(f, i, j, k - 1)
+                                : at(f, i, j, k + 1) - c;
+      return ui * ddx * rdx + vi * ddy * rdx + wi * ddz * rdx;
+    };
+    auto laplacian = [&](int f, int i, int j, int k) {
+      return at(f, i + 1, j, k) + at(f, i - 1, j, k) + at(f, i, j + 1, k) +
+             at(f, i, j - 1, k) + at(f, i, j, k + 1) + at(f, i, j, k - 1) -
+             6.0f * at(f, i, j, k);
+    };
+
+    for (int i = 1; i <= lx_; ++i) {
+      for (int j = 1; j <= ly_; ++j) {
+        for (int k = 1; k <= lz_; ++k) {
+          const float ui = at(kU, i, j, k);
+          const float vi = at(kV, i, j, k);
+          const float wi = at(kW, i, j, k);
+          const std::size_t id = idx(i, j, k);
+
+          next_[kTheta][id] =
+              at(kTheta, i, j, k) +
+              dt * (kdiff * laplacian(kTheta, i, j, k) -
+                    upwind(kTheta, i, j, k, ui, vi, wi));
+          next_[kQv][id] =
+              at(kQv, i, j, k) + dt * (kdiff * laplacian(kQv, i, j, k) -
+                                       upwind(kQv, i, j, k, ui, vi, wi));
+          next_[kU][id] =
+              damp * (ui + dt * kdiff * laplacian(kU, i, j, k));
+          next_[kV][id] =
+              damp * (vi + dt * kdiff * laplacian(kV, i, j, k));
+          next_[kW][id] =
+              damp * (wi + dt * (kdiff * laplacian(kW, i, j, k) +
+                                 buoy * at(kTheta, i, j, k)));
+        }
+      }
+    }
+    for (int f = 0; f < kNumFields; ++f) {
+      std::swap(cur_[f], next_[f]);
+    }
+    enforce_vertical_boundaries();
+  }
+
+  /// Rigid lid and ground: w vanishes at the vertical boundaries; other
+  /// fields use zero-gradient halos.
+  void enforce_vertical_boundaries() {
+    for (int i = 0; i <= lx_ + 1; ++i) {
+      for (int j = 0; j <= ly_ + 1; ++j) {
+        for (int f = 0; f < kNumFields; ++f) {
+          cur_[f][idx(i, j, 0)] = f == kW ? 0.0f : cur_[f][idx(i, j, 1)];
+          cur_[f][idx(i, j, lz_ + 1)] =
+              f == kW ? 0.0f : cur_[f][idx(i, j, lz_)];
+        }
+        cur_[kW][idx(i, j, 1)] *= 0.5f;    // damp near-boundary updrafts
+        cur_[kW][idx(i, j, lz_)] *= 0.5f;
+      }
+    }
+  }
+
+  std::vector<float> cur_[kNumFields];
+  std::vector<float> next_[kNumFields];
+
+ private:
+  Cm1Config cfg_;
+  int cx_, cy_;
+  int lx_, ly_, lz_;
+};
+
+Cm1Solver::Cm1Solver(const Cm1Config& cfg) : cfg_(cfg) {
+  assert(cfg.nx % cfg.px == 0 && cfg.ny % cfg.py == 0 &&
+         "grid must divide evenly over the process grid");
+  const int lx = cfg.nx / cfg.px;
+  const int ly = cfg.ny / cfg.py;
+  subs_.reserve(num_subdomains());
+  for (int cy = 0; cy < cfg.py; ++cy) {
+    for (int cx = 0; cx < cfg.px; ++cx) {
+      subs_.push_back(std::make_unique<Subdomain>(
+          cfg, cx, cy, lx, ly, cfg.nz, cx * lx, cy * ly));
+    }
+  }
+}
+
+Cm1Solver::~Cm1Solver() = default;
+
+std::array<int, 3> Cm1Solver::local_extent(int s) const {
+  const Subdomain& d = *subs_[s];
+  return {d.lx(), d.ly(), d.lz()};
+}
+
+std::span<const float> Cm1Solver::field(int s, int field_index) const {
+  return subs_[s]->field(field_index);
+}
+
+std::size_t Cm1Solver::pack_field(int s, int field_index,
+                                  std::span<float> out) const {
+  const Subdomain& d = *subs_[s];
+  const std::size_t n =
+      static_cast<std::size_t>(d.lx()) * d.ly() * d.lz();
+  assert(out.size() >= n);
+  std::size_t p = 0;
+  for (int i = 1; i <= d.lx(); ++i) {
+    for (int j = 1; j <= d.ly(); ++j) {
+      for (int k = 1; k <= d.lz(); ++k) {
+        out[p++] = d.at(field_index, i, j, k);
+      }
+    }
+  }
+  return n;
+}
+
+void Cm1Solver::exchange_halos() {
+  const int px = cfg_.px, py = cfg_.py;
+  auto sub = [&](int cx, int cy) -> Subdomain& {
+    return *subs_[cy * px + cx];
+  };
+  for (int cy = 0; cy < py; ++cy) {
+    for (int cx = 0; cx < px; ++cx) {
+      Subdomain& d = sub(cx, cy);
+      Subdomain& west = sub((cx - 1 + px) % px, cy);
+      Subdomain& east = sub((cx + 1) % px, cy);
+      Subdomain& south = sub(cx, (cy - 1 + py) % py);
+      Subdomain& north = sub(cx, (cy + 1) % py);
+      for (int f = 0; f < kNumFields; ++f) {
+        for (int j = 1; j <= d.ly(); ++j) {
+          for (int k = 1; k <= d.lz(); ++k) {
+            d.at(f, 0, j, k) = west.at(f, west.lx(), j, k);
+            d.at(f, d.lx() + 1, j, k) = east.at(f, 1, j, k);
+          }
+        }
+        for (int i = 0; i <= d.lx() + 1; ++i) {
+          for (int k = 1; k <= d.lz(); ++k) {
+            d.at(f, i, 0, k) = south.at(
+                f, std::clamp(i, 1, south.lx()), south.ly(), k);
+            d.at(f, i, d.ly() + 1, k) =
+                north.at(f, std::clamp(i, 1, north.lx()), 1, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Cm1Solver::step(int s) { subs_[s]->step(); }
+
+void Cm1Solver::step_all() {
+  exchange_halos();
+  for (int s = 0; s < num_subdomains(); ++s) step(s);
+  ++iteration_;
+}
+
+double Cm1Solver::total_theta() const {
+  double sum = 0.0;
+  for (const auto& d : subs_) {
+    for (int i = 1; i <= d->lx(); ++i) {
+      for (int j = 1; j <= d->ly(); ++j) {
+        for (int k = 1; k <= d->lz(); ++k) {
+          sum += d->at(kTheta, i, j, k);
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+double Cm1Solver::max_abs_w() const {
+  double m = 0.0;
+  for (const auto& d : subs_) {
+    for (int i = 1; i <= d->lx(); ++i) {
+      for (int j = 1; j <= d->ly(); ++j) {
+        for (int k = 1; k <= d->lz(); ++k) {
+          m = std::max(m, std::fabs(static_cast<double>(d->at(kW, i, j, k))));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+std::pair<float, float> Cm1Solver::field_range(int field_index) const {
+  float lo = 0.0f, hi = 0.0f;
+  bool first = true;
+  for (const auto& d : subs_) {
+    for (int i = 1; i <= d->lx(); ++i) {
+      for (int j = 1; j <= d->ly(); ++j) {
+        for (int k = 1; k <= d->lz(); ++k) {
+          const float v = d->at(field_index, i, j, k);
+          if (first) {
+            lo = hi = v;
+            first = false;
+          } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+        }
+      }
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace dmr::cm1

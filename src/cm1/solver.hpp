@@ -1,0 +1,101 @@
+// Mini-CM1: a small non-hydrostatic-style atmospheric stencil code in the
+// spirit of Bryan & Fritsch's CM1 (paper §IV-A) — the application driving
+// every experiment in the paper.
+//
+// The model carries five prognostic float fields on a 3-D grid
+// (potential-temperature perturbation theta, winds u/v/w, moisture qv)
+// and advances them with first-order upwind advection, explicit
+// diffusion and a buoyancy term that makes a warm bubble rise — enough
+// physics to produce the smooth, compressible fields whose output
+// behaviour the paper studies, while staying unconditionally simple.
+//
+// The domain splits into a 2-D grid of subdomains (CM1's parallelization
+// strategy). Each subdomain owns its interior plus one-cell halos;
+// exchange_halos() copies faces between neighbours (periodic laterally,
+// rigid top/bottom). The driver may run subdomains on separate threads;
+// step() must be fenced by exchange_halos() exactly like an MPI halo
+// exchange fences a CM1 timestep.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dmr::cm1 {
+
+struct Cm1Config {
+  // Global grid points (without halos).
+  int nx = 64, ny = 64, nz = 32;
+  // Process grid (CM1 splits the horizontal plane).
+  int px = 1, py = 1;
+  double dt = 0.5;          // time step, s
+  double dx = 250.0;        // grid spacing, m
+  double diffusivity = 25.0;  // m^2/s
+  double buoyancy = 0.02;   // theta-to-w coupling
+  // Warm bubble initial condition.
+  double bubble_amplitude = 3.0;  // K
+  double bubble_radius = 0.25;    // fraction of domain
+};
+
+/// Names of the prognostic fields, in storage order.
+inline constexpr std::array<const char*, 5> kFieldNames = {
+    "theta", "u", "v", "w", "qv"};
+inline constexpr int kNumFields = 5;
+
+class Subdomain;
+
+class Cm1Solver {
+ public:
+  explicit Cm1Solver(const Cm1Config& cfg);
+  ~Cm1Solver();
+
+  Cm1Solver(const Cm1Solver&) = delete;
+  Cm1Solver& operator=(const Cm1Solver&) = delete;
+
+  const Cm1Config& config() const { return cfg_; }
+  int num_subdomains() const { return cfg_.px * cfg_.py; }
+
+  /// Local interior extents of subdomain `s` (x, y, z).
+  std::array<int, 3> local_extent(int s) const;
+
+  /// Interior field values of subdomain `s`, x-major then y then z
+  /// (size = product of local_extent). The span stays valid until the
+  /// solver is destroyed; contents change on step().
+  std::span<const float> field(int s, int field_index) const;
+
+  /// Packs the interior of field `f` of subdomain `s` into `out`
+  /// (contiguous, for df_write). Returns the element count.
+  std::size_t pack_field(int s, int field_index, std::span<float> out) const;
+
+  /// Exchanges halo faces between all subdomains. Must be called between
+  /// step() rounds (the driver calls it once per timestep).
+  void exchange_halos();
+
+  /// Advances subdomain `s` by one timestep using current halos. Safe to
+  /// call concurrently for different `s`.
+  void step(int s);
+
+  /// Convenience: halo exchange + step on every subdomain, serially.
+  void step_all();
+
+  std::int64_t iteration() const { return iteration_; }
+
+  /// Sum of theta over the global interior (a conservation diagnostic).
+  double total_theta() const;
+  /// Maximum |w| over the global interior (bubble-rise diagnostic).
+  double max_abs_w() const;
+  /// Global min/max of a field.
+  std::pair<float, float> field_range(int field_index) const;
+
+ private:
+  Cm1Config cfg_;
+  std::vector<std::unique_ptr<Subdomain>> subs_;
+  std::int64_t iteration_ = 0;
+};
+
+}  // namespace dmr::cm1

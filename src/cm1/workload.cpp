@@ -1,0 +1,55 @@
+#include "cm1/workload.hpp"
+
+namespace dmr::cm1 {
+
+namespace {
+
+/// Weak-scaled compute time: the dedicated-core variant packs the same
+/// global problem onto fewer cores, so each rank computes proportionally
+/// longer (48x44x200 vs 44x44x200 on Kraken, etc.).
+WorkloadModel make(std::uint64_t std_points, std::uint64_t ded_points,
+                   bool dedicated, SimTime iteration_seconds,
+                   double bytes_per_point, int write_interval) {
+  WorkloadModel w;
+  w.points_per_rank = dedicated ? ded_points : std_points;
+  w.bytes_per_point = bytes_per_point;
+  w.seconds_per_iteration =
+      iteration_seconds * static_cast<double>(w.points_per_rank) /
+      static_cast<double>(std_points);
+  w.write_interval = write_interval;
+  return w;
+}
+
+}  // namespace
+
+WorkloadModel kraken_workload(bool dedicated_core_mode,
+                              SimTime iteration_seconds) {
+  return make(44ull * 44 * 200, 48ull * 44 * 200, dedicated_core_mode,
+              iteration_seconds, 64.0, 1);
+}
+
+WorkloadModel grid5000_workload(bool dedicated_core_mode,
+                                SimTime iteration_seconds) {
+  return make(46ull * 40 * 200, 48ull * 40 * 200, dedicated_core_mode,
+              iteration_seconds, 64.0, 20);
+}
+
+WorkloadModel blueprint_workload(bool dedicated_core_mode,
+                                 double bytes_per_point,
+                                 SimTime iteration_seconds) {
+  return make(30ull * 30 * 300, 24ull * 40 * 300, dedicated_core_mode,
+              iteration_seconds, bytes_per_point, 1);
+}
+
+WorkloadModel scale_for_dedicated(const WorkloadModel& standard,
+                                  int cores_per_node, int dedicated) {
+  WorkloadModel w = standard;
+  const double scale = static_cast<double>(cores_per_node) /
+                       static_cast<double>(cores_per_node - dedicated);
+  w.points_per_rank = static_cast<std::uint64_t>(
+      static_cast<double>(standard.points_per_rank) * scale + 0.5);
+  w.seconds_per_iteration = standard.seconds_per_iteration * scale;
+  return w;
+}
+
+}  // namespace dmr::cm1

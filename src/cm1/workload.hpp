@@ -1,0 +1,63 @@
+// CM1 workload models for the cluster simulator (paper §IV-B).
+//
+// The simulator does not integrate the PDEs — it needs CM1's *shape*:
+// a weak-scaled stencil code whose per-iteration compute time is constant
+// across scales and which emits `output_bytes_per_rank` every
+// `write_interval` iterations. The presets reproduce the subdomain sizes
+// of the paper: when one core per node is dedicated to Damaris, the same
+// global problem is redistributed over one fewer core per node, making
+// each compute rank's subdomain slightly larger (and the iteration
+// proportionally slower).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace dmr::cm1 {
+
+struct WorkloadModel {
+  /// Points of one rank's subdomain.
+  std::uint64_t points_per_rank = 0;
+  /// Output bytes per point per write phase (number of emitted variables
+  /// times sizeof(float)).
+  double bytes_per_point = 64.0;
+  /// Nominal compute seconds per iteration per rank (weak scaling: the
+  /// same for every rank; OS noise is added by the platform model).
+  SimTime seconds_per_iteration = 0;
+  /// A write phase happens every this many iterations.
+  int write_interval = 1;
+
+  Bytes output_bytes_per_rank() const {
+    return static_cast<Bytes>(static_cast<double>(points_per_rank) *
+                              bytes_per_point);
+  }
+};
+
+/// Kraken runs (Fig. 2/4/5/6): per-core subdomain 44x44x200 standard,
+/// 48x44x200 with a dedicated core (total problem size equivalent).
+/// `iteration_seconds` calibrates the physics configuration: ~4.1 s for
+/// the 50-iteration scalability runs, ~230 s for the §IV-D cadence.
+WorkloadModel kraken_workload(bool dedicated_core_mode,
+                              SimTime iteration_seconds = 4.1);
+
+/// Grid'5000 runs (Table I): 46x40x200 standard / 48x40x200 Damaris,
+/// ~24 MB per process, writes every 20 iterations.
+WorkloadModel grid5000_workload(bool dedicated_core_mode,
+                                SimTime iteration_seconds = 4.1);
+
+/// BluePrint runs (Fig. 3): 30x30x300 standard / 24x40x300 Damaris. The
+/// output volume is varied by enabling/disabling variables — pass
+/// `bytes_per_point` explicitly.
+WorkloadModel blueprint_workload(bool dedicated_core_mode,
+                                 double bytes_per_point,
+                                 SimTime iteration_seconds = 4.1);
+
+/// Redistributes a *standard* (no dedicated core) workload over
+/// `cores_per_node - dedicated` compute cores per node: same global
+/// problem, proportionally larger subdomains and compute time. Used by
+/// the "how many dedicated cores?" ablation (§V-A).
+WorkloadModel scale_for_dedicated(const WorkloadModel& standard,
+                                  int cores_per_node, int dedicated);
+
+}  // namespace dmr::cm1

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Thread-safe (a single mutex around emission); the default level is
+// kWarn so library users see nothing unless something goes wrong or they
+// opt in. Not intended for the DES hot path — simulations log through
+// their own trace sinks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dmr {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (already formatted body) if `level` is enabled.
+void log_emit(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style logging helper:
+///   DMR_LOG(kInfo, "shm") << "buffer full, " << n << " bytes requested";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dmr
+
+#define DMR_LOG(level, component) \
+  ::dmr::LogLine(::dmr::LogLevel::level, component)

@@ -1,0 +1,108 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dmr {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return count_ ? mean_ : 0.0; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return count_ ? min_ : 0.0; }
+
+double Accumulator::max() const { return count_ ? max_ : 0.0; }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Sample::add_all(const std::vector<double>& xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& Sample::sorted() const {
+  if (!sorted_valid_ || sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::min() const { return values_.empty() ? 0.0 : sorted().front(); }
+
+double Sample::max() const { return values_.empty() ? 0.0 : sorted().back(); }
+
+double Sample::percentile(double p) const {
+  const auto& v = sorted();
+  if (v.empty()) return 0.0;
+  if (v.size() == 1) return v[0];
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+std::string describe(const Sample& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g sd=%.4g min=%.4g p50=%.4g max=%.4g",
+                s.count(), s.mean(), s.stddev(), s.min(), s.median(),
+                s.max());
+  return buf;
+}
+
+}  // namespace dmr

@@ -1,0 +1,67 @@
+// Descriptive statistics for experiment metrics (write-phase durations,
+// throughputs, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+/// Streaming accumulator: count, mean, variance (Welford), min, max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full-sample summary with percentiles; keeps the samples.
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  mutable bool sorted_valid_ = false;
+  std::vector<double> values_;
+
+  const std::vector<double>& sorted() const;
+};
+
+/// Compact human-readable summary, e.g. "n=32 mean=4.81 sd=0.52
+/// min=3.9 p50=4.7 max=6.3".
+std::string describe(const Sample& s);
+
+}  // namespace dmr

@@ -1,0 +1,22 @@
+#include "common/status.hpp"
+
+namespace dmr {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kResourceBusy: return "RESOURCE_BUSY";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace dmr

@@ -1,0 +1,109 @@
+// Lightweight status / result types used across the library.
+//
+// We deliberately avoid exceptions on hot paths (DES event loop, shared
+// buffer operations); fallible operations return Status or Result<T>.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dmr {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,      // shared buffer exhausted
+  kResourceBusy,
+  kIoError,
+  kCorruptData,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("OUT_OF_MEMORY", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A cheap status object: OK carries nothing; errors carry a code and a
+/// message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-status result.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status already_exists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status out_of_memory(std::string msg) {
+  return Status(ErrorCode::kOutOfMemory, std::move(msg));
+}
+inline Status io_error(std::string msg) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status corrupt_data(std::string msg) {
+  return Status(ErrorCode::kCorruptData, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+}  // namespace dmr

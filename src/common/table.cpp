@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dmr {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace dmr

@@ -1,0 +1,34 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// paper's tables and figure series as aligned console output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dmr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `%.*f`.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with column alignment and a separator line.
+  std::string to_string() const;
+
+  /// Prints to `out` (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmr

@@ -1,0 +1,186 @@
+#include "config/config.hpp"
+
+#include <cstdlib>
+
+namespace dmr::config {
+
+namespace {
+
+/// Parses "64,16,2" into dims; rejects empties and non-numbers.
+Status parse_dimensions(const std::string& s,
+                        std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string token = s.substr(pos, end - pos);
+    if (token.empty()) return invalid_argument("empty dimension in '" + s + "'");
+    char* endp = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &endp, 10);
+    if (endp == token.c_str() || *endp != '\0' || v == 0) {
+      return invalid_argument("bad dimension '" + token + "'");
+    }
+    out.push_back(v);
+    pos = end + 1;
+  }
+  if (out.empty()) return invalid_argument("no dimensions in '" + s + "'");
+  return Status::ok();
+}
+
+}  // namespace
+
+const LayoutDecl* Config::find_layout(const std::string& name) const {
+  auto it = layouts_.find(name);
+  return it == layouts_.end() ? nullptr : &it->second;
+}
+
+const VariableDecl* Config::find_variable(const std::string& name) const {
+  auto it = variables_.find(name);
+  return it == variables_.end() ? nullptr : &it->second;
+}
+
+const EventDecl* Config::find_event(const std::string& name) const {
+  auto it = events_.find(name);
+  return it == events_.end() ? nullptr : &it->second;
+}
+
+const format::Layout* Config::layout_of(const std::string& variable) const {
+  const VariableDecl* v = find_variable(variable);
+  if (!v) return nullptr;
+  const LayoutDecl* l = find_layout(v->layout_name);
+  return l ? &l->layout : nullptr;
+}
+
+Result<Config> Config::from_string(const std::string& xml) {
+  auto doc = parse_xml(xml);
+  if (!doc.is_ok()) return doc.status();
+  return from_xml(doc.value());
+}
+
+Result<Config> Config::from_file(const std::string& path) {
+  auto doc = parse_xml_file(path);
+  if (!doc.is_ok()) return doc.status();
+  return from_xml(doc.value());
+}
+
+Result<Config> Config::from_xml(const XmlNode& root) {
+  if (root.name != "damaris") {
+    return invalid_argument("root element must be <damaris>, got <" +
+                            root.name + ">");
+  }
+  Config cfg;
+
+  if (const XmlNode* buf = root.child("buffer")) {
+    if (const std::string* size = buf->attr("size")) {
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(size->c_str(), &endp, 10);
+      if (endp == size->c_str() || *endp != '\0' || v == 0) {
+        return invalid_argument("bad buffer size '" + *size + "'");
+      }
+      cfg.buffer_size_ = v;
+    }
+    const std::string policy = buf->attr_or("policy", "firstfit");
+    if (policy != "firstfit" && policy != "partitioned") {
+      return invalid_argument("unknown buffer policy '" + policy + "'");
+    }
+    cfg.buffer_policy_ = policy;
+  }
+
+  if (const XmlNode* ded = root.child("dedicated")) {
+    const std::string cores = ded->attr_or("cores", "1");
+    const int v = std::atoi(cores.c_str());
+    if (v < 1) return invalid_argument("dedicated cores must be >= 1");
+    cfg.dedicated_cores_ = v;
+  }
+
+  for (const XmlNode* n : root.children_named("layout")) {
+    LayoutDecl decl;
+    const std::string* name = n->attr("name");
+    if (!name) return invalid_argument("<layout> without name");
+    decl.name = *name;
+    const std::string type = n->attr_or("type", "float32");
+    if (!format::parse_datatype(type, decl.layout.type)) {
+      return invalid_argument("layout '" + decl.name + "': unknown type '" +
+                              type + "'");
+    }
+    const std::string* dims = n->attr("dimensions");
+    if (!dims) {
+      return invalid_argument("layout '" + decl.name + "' needs dimensions");
+    }
+    Status s = parse_dimensions(*dims, decl.layout.dims);
+    if (!s.is_ok()) return s;
+    decl.fortran_order = n->attr_or("language", "") == "fortran";
+    if (!cfg.layouts_.emplace(decl.name, decl).second) {
+      return invalid_argument("duplicate layout '" + decl.name + "'");
+    }
+  }
+
+  for (const XmlNode* n : root.children_named("variable")) {
+    VariableDecl decl;
+    const std::string* name = n->attr("name");
+    if (!name) return invalid_argument("<variable> without name");
+    decl.name = *name;
+    const std::string* layout = n->attr("layout");
+    if (!layout) {
+      return invalid_argument("variable '" + decl.name + "' needs a layout");
+    }
+    decl.layout_name = *layout;
+    decl.pipeline = n->attr_or("pipeline", "");
+    if (!decl.pipeline.empty() && decl.pipeline != "lossless" &&
+        decl.pipeline != "visualization") {
+      return invalid_argument("variable '" + decl.name +
+                              "': unknown pipeline '" + decl.pipeline + "'");
+    }
+    if (!cfg.variables_.emplace(decl.name, decl).second) {
+      return invalid_argument("duplicate variable '" + decl.name + "'");
+    }
+  }
+
+  for (const XmlNode* n : root.children_named("event")) {
+    EventDecl decl;
+    const std::string* name = n->attr("name");
+    if (!name) return invalid_argument("<event> without name");
+    decl.name = *name;
+    decl.action = n->attr_or("action", "");
+    if (decl.action.empty()) {
+      return invalid_argument("event '" + decl.name + "' needs an action");
+    }
+    decl.plugin = n->attr_or("using", "");
+    decl.scope = n->attr_or("scope", "local");
+    if (decl.scope != "local" && decl.scope != "global") {
+      return invalid_argument("event '" + decl.name + "': unknown scope '" +
+                              decl.scope + "'");
+    }
+    if (!cfg.events_.emplace(decl.name, decl).second) {
+      return invalid_argument("duplicate event '" + decl.name + "'");
+    }
+  }
+
+  for (const XmlNode* n : root.children_named("parameter")) {
+    ParameterDecl decl;
+    const std::string* name = n->attr("name");
+    if (!name) return invalid_argument("<parameter> without name");
+    decl.name = *name;
+    decl.value = n->attr_or("value", "");
+    if (decl.value.empty()) {
+      return invalid_argument("parameter '" + decl.name +
+                              "' needs a value");
+    }
+    if (!cfg.parameters_.emplace(decl.name, decl).second) {
+      return invalid_argument("duplicate parameter '" + decl.name + "'");
+    }
+  }
+
+  // Cross-reference validation: every variable's layout must exist.
+  for (const auto& [vname, var] : cfg.variables_) {
+    if (!cfg.find_layout(var.layout_name)) {
+      return invalid_argument("variable '" + vname +
+                              "' references unknown layout '" +
+                              var.layout_name + "'");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace dmr::config

@@ -1,0 +1,108 @@
+// The Damaris configuration model (paper §III-B "Configuration file").
+//
+// The external XML file carries the static description of the data —
+// layouts (type, dimensions), variables bound to layouts, and events
+// bound to actions — so that clients only push minimal descriptors
+// through shared memory and the dedicated core retains full knowledge of
+// incoming datasets.
+//
+// Example (the paper's Fortran example, §III-D):
+//
+//   <damaris>
+//     <buffer size="67108864" policy="partitioned"/>
+//     <dedicated cores="1"/>
+//     <layout name="my_layout" type="real" dimensions="64,16,2"
+//             language="fortran"/>
+//     <variable name="my_variable" layout="my_layout"/>
+//     <event name="my_event" action="do_something"
+//            using="my_plugin" scope="local"/>
+//   </damaris>
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "config/xml.hpp"
+#include "format/types.hpp"
+
+namespace dmr::config {
+
+struct LayoutDecl {
+  std::string name;
+  format::Layout layout;
+  /// Fortran layouts list dimensions fastest-first; we record the flag
+  /// and keep dims as declared.
+  bool fortran_order = false;
+};
+
+struct VariableDecl {
+  std::string name;
+  std::string layout_name;
+  /// Optional codec pipeline applied by the persistency layer:
+  /// "" (none), "lossless" or "visualization".
+  std::string pipeline;
+};
+
+struct EventDecl {
+  std::string name;
+  std::string action;   // function to invoke
+  std::string plugin;   // plugin providing it ("" = builtin)
+  std::string scope;    // "local" (per node) or "global"
+};
+
+/// A steerable runtime parameter (the "Inline Steering" of the Damaris
+/// acronym): declared with an initial value in the configuration,
+/// readable by clients every iteration and writable by plugins or
+/// external tools through the node.
+struct ParameterDecl {
+  std::string name;
+  std::string value;  // initial value, as text
+};
+
+/// Parsed, validated configuration.
+class Config {
+ public:
+  /// Parses a document string; validates cross-references.
+  static Result<Config> from_string(const std::string& xml);
+  static Result<Config> from_file(const std::string& path);
+
+  Bytes buffer_size() const { return buffer_size_; }
+  /// "firstfit" or "partitioned".
+  const std::string& buffer_policy() const { return buffer_policy_; }
+  int dedicated_cores() const { return dedicated_cores_; }
+
+  const std::map<std::string, LayoutDecl>& layouts() const {
+    return layouts_;
+  }
+  const std::map<std::string, VariableDecl>& variables() const {
+    return variables_;
+  }
+  const std::map<std::string, EventDecl>& events() const { return events_; }
+  const std::map<std::string, ParameterDecl>& parameters() const {
+    return parameters_;
+  }
+
+  const LayoutDecl* find_layout(const std::string& name) const;
+  const VariableDecl* find_variable(const std::string& name) const;
+  const EventDecl* find_event(const std::string& name) const;
+
+  /// Layout of a variable (resolves the reference); nullptr if unknown.
+  const format::Layout* layout_of(const std::string& variable) const;
+
+ private:
+  static Result<Config> from_xml(const XmlNode& root);
+
+  Bytes buffer_size_ = 64 * MiB;
+  std::string buffer_policy_ = "firstfit";
+  int dedicated_cores_ = 1;
+  std::map<std::string, LayoutDecl> layouts_;
+  std::map<std::string, VariableDecl> variables_;
+  std::map<std::string, EventDecl> events_;
+  std::map<std::string, ParameterDecl> parameters_;
+};
+
+}  // namespace dmr::config

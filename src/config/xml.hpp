@@ -1,0 +1,42 @@
+// Minimal XML parser (Xerces-C stand-in) for the Damaris configuration
+// file. Supports elements, attributes (single or double quoted), nested
+// children, text content, comments, processing instructions and the five
+// predefined entities. No DTD/namespaces — configuration files do not
+// need them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dmr::config {
+
+class XmlNode {
+ public:
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  // concatenated character data
+
+  /// First attribute value by name, or nullptr.
+  const std::string* attr(std::string_view key) const;
+
+  /// Attribute value or `fallback`.
+  std::string attr_or(std::string_view key, std::string fallback) const;
+
+  /// First child element by name, or nullptr.
+  const XmlNode* child(std::string_view name) const;
+
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(std::string_view name) const;
+};
+
+/// Parses a complete document; returns the root element.
+Result<XmlNode> parse_xml(std::string_view input);
+
+/// Reads and parses a file.
+Result<XmlNode> parse_xml_file(const std::string& path);
+
+}  // namespace dmr::config

@@ -1,0 +1,494 @@
+#include "core/damaris.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace dmr::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+shm::AllocPolicy policy_from(const config::Config& cfg) {
+  return cfg.buffer_policy() == "partitioned"
+             ? shm::AllocPolicy::kPartitioned
+             : shm::AllocPolicy::kMutexFirstFit;
+}
+
+}  // namespace
+
+DamarisNode::Shard::Shard(std::string output_dir, std::string prefix,
+                          int node_id, int shard_id, int num_shards)
+    : id(shard_id),
+      persistency(std::move(output_dir),
+                  num_shards > 1 ? prefix + "_s" + std::to_string(shard_id)
+                                 : std::move(prefix),
+                  node_id) {}
+
+DamarisNode::DamarisNode(config::Config cfg, int num_clients,
+                         NodeOptions opts)
+    : cfg_(std::move(cfg)),
+      num_clients_(num_clients),
+      opts_(std::move(opts)),
+      buffer_(std::make_unique<shm::SharedBuffer>(
+          cfg_.buffer_size(), policy_from(cfg_), num_clients)),
+      client_stats_(num_clients) {
+  // One server shard per configured dedicated core; never more shards
+  // than clients.
+  const int shards =
+      std::clamp(cfg_.dedicated_cores(), 1, std::max(1, num_clients_));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        opts_.output_dir, opts_.file_prefix, opts_.node_id, s, shards));
+  }
+  for (int c = 0; c < num_clients_; ++c) {
+    ++shards_[shard_of(c)]->clients;
+  }
+
+  // Intern all configured variable and event names.
+  for (const auto& [name, var] : cfg_.variables()) {
+    ids_.emplace(name, static_cast<std::uint32_t>(names_.size()));
+    names_.push_back(name);
+  }
+  for (const auto& [name, ev] : cfg_.events()) {
+    if (ids_.count(name)) continue;
+    ids_.emplace(name, static_cast<std::uint32_t>(names_.size()));
+    names_.push_back(name);
+  }
+  // Reserved internal event driving iteration completion.
+  ids_.emplace("..end_iteration", static_cast<std::uint32_t>(names_.size()));
+  names_.push_back("..end_iteration");
+  // Steerable parameters start at their configured values.
+  for (const auto& [name, decl] : cfg_.parameters()) {
+    parameters_.emplace(name, decl.value);
+  }
+  register_builtin_actions();
+  server_stats_.shards = shards;
+}
+
+DamarisNode::~DamarisNode() {
+  if (started_) {
+    for (auto& shard : shards_) shard->queue.close();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+}
+
+std::uint32_t DamarisNode::name_id(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? ~0u : it->second;
+}
+
+Status DamarisNode::start() {
+  if (started_) return failed_precondition("node already started");
+  started_ = true;
+  start_time_ = Clock::now();
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { server_main(*s); });
+  }
+  return Status::ok();
+}
+
+Client DamarisNode::client(int id) { return Client(this, id); }
+
+Status DamarisNode::stop() {
+  if (!started_) return failed_precondition("node not started");
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  started_ = false;
+  return Status::ok();
+}
+
+ServerStats DamarisNode::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServerStats s = server_stats_;
+  for (const auto& shard : shards_) {
+    // PersistencyStats are only mutated by the shard's (now idle or
+    // joined) thread; summing here is fine for monitoring purposes.
+    const auto& p = shard->persistency.stats();
+    s.persistency.files_written += p.files_written;
+    s.persistency.datasets_written += p.datasets_written;
+    s.persistency.raw_bytes += p.raw_bytes;
+    s.persistency.stored_bytes += p.stored_bytes;
+  }
+  return s;
+}
+
+ClientStats DamarisNode::client_stats(int id) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return client_stats_.at(id);
+}
+
+std::map<std::string, double> DamarisNode::analytics() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return analytics_;
+}
+
+void DamarisNode::publish_analytic(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  analytics_[key] = value;
+}
+
+std::optional<std::string> DamarisNode::parameter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(params_mutex_);
+  auto it = parameters_.find(name);
+  if (it == parameters_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<long long> DamarisNode::parameter_int(
+    const std::string& name) const {
+  auto v = parameter(name);
+  if (!v) return std::nullopt;
+  char* end = nullptr;
+  const long long out = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return std::nullopt;
+  return out;
+}
+
+std::optional<double> DamarisNode::parameter_double(
+    const std::string& name) const {
+  auto v = parameter(name);
+  if (!v) return std::nullopt;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return std::nullopt;
+  return out;
+}
+
+Status DamarisNode::set_parameter(const std::string& name,
+                                  const std::string& value) {
+  std::lock_guard<std::mutex> lock(params_mutex_);
+  auto it = parameters_.find(name);
+  if (it == parameters_.end()) {
+    return not_found("parameter '" + name + "' not declared");
+  }
+  it->second = value;
+  return Status::ok();
+}
+
+Status DamarisNode::signal_external(const std::string& event,
+                                    std::int64_t iteration) {
+  const std::uint32_t id = name_id(event);
+  if (id == ~0u || !cfg_.find_event(event)) {
+    return not_found("event '" + event + "' not configured");
+  }
+  shm::Message msg;
+  msg.type = shm::MessageType::kUserEvent;
+  msg.client_id = -1;  // external tool, not a client
+  msg.iteration = iteration;
+  msg.name_id = id;
+  shards_[0]->queue.push(msg);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------- server
+
+void DamarisNode::server_main(Shard& shard) {
+  while (auto msg = shard.queue.pop()) {
+    const auto t0 = Clock::now();
+    handle_message(shard, *msg);
+    const double dt = seconds_since(t0);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    server_stats_.busy_seconds += dt;
+    ++server_stats_.messages_handled;
+    server_stats_.elapsed_seconds = seconds_since(start_time_);
+  }
+  // Queue closed: flush anything still pending (e.g. a run that never
+  // called end_iteration on its last step).
+  for (std::int64_t it : shard.metadata.pending_iterations()) {
+    complete_iteration(shard, it);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  server_stats_.elapsed_seconds = seconds_since(start_time_);
+}
+
+void DamarisNode::handle_message(Shard& shard, const shm::Message& msg) {
+  switch (msg.type) {
+    case shm::MessageType::kWriteNotification: {
+      VariableBlock block;
+      block.variable = names_.at(msg.name_id);
+      block.iteration = msg.iteration;
+      block.source = msg.client_id;
+      block.block = msg.block;
+      block.size = msg.block.size;
+      if (const format::Layout* l = cfg_.layout_of(block.variable)) {
+        block.layout = *l;
+      }
+      if (auto replaced = shard.metadata.add(std::move(block))) {
+        buffer_->deallocate(replaced->block);
+      }
+      break;
+    }
+    case shm::MessageType::kUserEvent: {
+      const std::string& name = names_.at(msg.name_id);
+      // The reserved "..end_iteration" event drives iteration completion.
+      if (name == "..end_iteration") {
+        if (++shard.end_counts[msg.iteration] == shard.clients) {
+          shard.end_counts.erase(msg.iteration);
+          complete_iteration(shard, msg.iteration);
+        }
+        break;
+      }
+      const config::EventDecl* decl = cfg_.find_event(name);
+      if (!decl) {
+        DMR_LOG(kWarn, "damaris") << "unknown event '" << name << "'";
+        break;
+      }
+      if (msg.client_id < 0) {
+        // External steering tools bypass the scope counting: their
+        // event runs once, immediately.
+        run_event(shard, *decl, msg.iteration, /*source=*/-1);
+      } else if (decl->scope == "global") {
+        // Fires once all clients of this shard have signalled (the
+        // shard *is* the symmetric group, §V-A).
+        auto key = std::make_pair(msg.name_id, msg.iteration);
+        if (++shard.event_counts[key] == shard.clients) {
+          shard.event_counts.erase(key);
+          run_event(shard, *decl, msg.iteration, /*source=*/-1);
+        }
+      } else {
+        run_event(shard, *decl, msg.iteration, msg.client_id);
+      }
+      break;
+    }
+    case shm::MessageType::kClientFinalize: {
+      if (++shard.finalized_clients == shard.clients) {
+        shard.queue.close();
+      }
+      break;
+    }
+  }
+}
+
+void DamarisNode::run_event(Shard& shard, const config::EventDecl& decl,
+                            std::int64_t iteration, int source) {
+  const PluginFn* fn = plugins_.find(decl.action);
+  if (!fn) {
+    DMR_LOG(kWarn, "damaris")
+        << "event '" << decl.name << "': unknown action '" << decl.action
+        << "'";
+    return;
+  }
+  EventContext ctx{*this,     shard.metadata, *buffer_, decl.name,
+                   iteration, source,         shard.id};
+  (*fn)(ctx);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++server_stats_.events_handled;
+}
+
+void DamarisNode::complete_iteration(Shard& shard, std::int64_t iteration) {
+  std::vector<VariableBlock> blocks = shard.metadata.take_iteration(iteration);
+  if (blocks.empty()) return;
+
+  IterationRecord rec;
+  rec.iteration = iteration;
+  rec.shard = shard.id;
+  rec.blocks = blocks.size();
+  for (const auto& b : blocks) rec.raw_bytes += b.size;
+
+  const auto t0 = Clock::now();
+  if (opts_.persist_on_end_iteration) {
+    Status s = shard.persistency.write_blocks(iteration, blocks, *buffer_,
+                                              cfg_);
+    if (!s.is_ok()) {
+      DMR_LOG(kError, "damaris")
+          << "persist failed for iteration " << iteration << ": "
+          << s.to_string();
+    }
+  }
+  rec.write_seconds = seconds_since(t0);
+
+  for (const auto& b : blocks) buffer_->deallocate(b.block);
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  server_stats_.iterations.push_back(rec);
+}
+
+void DamarisNode::register_builtin_actions() {
+  // "write": persist the signalled iteration immediately (on the shard
+  // that received the event).
+  plugins_.register_action("write", [this](EventContext& ctx) {
+    complete_iteration(*shards_[ctx.shard], ctx.iteration);
+  });
+  // "stats": publish min/max/mean of every float32 block of the
+  // iteration (a representative inline-analytics plugin).
+  plugins_.register_action("stats", [this](EventContext& ctx) {
+    for (const VariableBlock* b : ctx.metadata.blocks_of(ctx.iteration)) {
+      if (b->layout.type != format::DataType::kFloat32) continue;
+      const std::size_t n = b->size / sizeof(float);
+      if (n == 0) continue;
+      const float* vals =
+          reinterpret_cast<const float*>(buffer_->data(b->block));
+      float lo = vals[0], hi = vals[0];
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        lo = std::min(lo, vals[i]);
+        hi = std::max(hi, vals[i]);
+        sum += vals[i];
+      }
+      publish_analytic(b->variable + ".min", lo);
+      publish_analytic(b->variable + ".max", hi);
+      publish_analytic(b->variable + ".mean", sum / static_cast<double>(n));
+    }
+  });
+}
+
+// ---------------------------------------------------------------- client
+
+Result<shm::Block> DamarisNode::blocking_allocate(Bytes size, int client) {
+  const auto deadline = Clock::now() + opts_.alloc_timeout;
+  bool stalled = false;
+  for (;;) {
+    auto r = buffer_->allocate(size, client);
+    if (r.is_ok()) {
+      if (stalled) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++client_stats_[client].alloc_stalls;
+      }
+      return r;
+    }
+    if (r.status().code() != ErrorCode::kOutOfMemory) return r;
+    if (Clock::now() >= deadline) {
+      return out_of_memory("allocation timed out after waiting for server");
+    }
+    stalled = true;
+    std::this_thread::yield();
+  }
+}
+
+Status Client::write(const std::string& variable, std::int64_t iteration,
+                     std::span<const std::byte> data) {
+  const format::Layout* layout = node_->cfg_.layout_of(variable);
+  if (!layout) return not_found("variable '" + variable + "' not configured");
+  if (data.size() != layout->byte_size()) {
+    return invalid_argument("variable '" + variable + "': payload is " +
+                            std::to_string(data.size()) + " bytes, layout " +
+                            std::to_string(layout->byte_size()));
+  }
+  return write_sized(variable, iteration, data);
+}
+
+Status Client::write_sized(const std::string& variable,
+                           std::int64_t iteration,
+                           std::span<const std::byte> data) {
+  const auto t0 = Clock::now();
+  const std::uint32_t id = node_->name_id(variable);
+  if (id == ~0u) return not_found("variable '" + variable + "' unknown");
+  auto block = node_->blocking_allocate(data.size(), id_);
+  if (!block.is_ok()) return block.status();
+  std::memcpy(node_->buffer_->data(block.value()), data.data(), data.size());
+
+  shm::Message msg;
+  msg.type = shm::MessageType::kWriteNotification;
+  msg.client_id = id_;
+  msg.iteration = iteration;
+  msg.name_id = id;
+  msg.block = block.value();
+  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+
+  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::lock_guard<std::mutex> lock(node_->stats_mutex_);
+  ClientStats& cs = node_->client_stats_[id_];
+  ++cs.writes;
+  cs.bytes_written += data.size();
+  cs.write_seconds += dt;
+  cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
+  return Status::ok();
+}
+
+Result<std::span<std::byte>> Client::alloc(const std::string& variable,
+                                           std::int64_t iteration) {
+  const format::Layout* layout = node_->cfg_.layout_of(variable);
+  if (!layout) return not_found("variable '" + variable + "' not configured");
+  const std::uint32_t id = node_->name_id(variable);
+  auto block = node_->blocking_allocate(layout->byte_size(), id_);
+  if (!block.is_ok()) return block.status();
+  {
+    std::lock_guard<std::mutex> lock(node_->pending_mutex_);
+    node_->pending_allocs_[{id_, id, iteration}] = block.value();
+  }
+  return std::span<std::byte>(node_->buffer_->data(block.value()),
+                              block.value().size);
+}
+
+Status Client::commit(const std::string& variable, std::int64_t iteration) {
+  const auto t0 = Clock::now();
+  const std::uint32_t id = node_->name_id(variable);
+  if (id == ~0u) return not_found("variable '" + variable + "' unknown");
+  shm::Block block;
+  {
+    std::lock_guard<std::mutex> lock(node_->pending_mutex_);
+    auto it = node_->pending_allocs_.find({id_, id, iteration});
+    if (it == node_->pending_allocs_.end()) {
+      return failed_precondition("no pending alloc for '" + variable + "'");
+    }
+    block = it->second;
+    node_->pending_allocs_.erase(it);
+  }
+  shm::Message msg;
+  msg.type = shm::MessageType::kWriteNotification;
+  msg.client_id = id_;
+  msg.iteration = iteration;
+  msg.name_id = id;
+  msg.block = block;
+  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+
+  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::lock_guard<std::mutex> lock(node_->stats_mutex_);
+  ClientStats& cs = node_->client_stats_[id_];
+  ++cs.writes;
+  cs.bytes_written += block.size;
+  cs.write_seconds += dt;
+  cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
+  return Status::ok();
+}
+
+Status Client::signal(const std::string& event, std::int64_t iteration) {
+  const std::uint32_t id = node_->name_id(event);
+  if (id == ~0u) return not_found("event '" + event + "' unknown");
+  if (!node_->cfg_.find_event(event)) {
+    return not_found("event '" + event + "' not configured");
+  }
+  shm::Message msg;
+  msg.type = shm::MessageType::kUserEvent;
+  msg.client_id = id_;
+  msg.iteration = iteration;
+  msg.name_id = id;
+  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  return Status::ok();
+}
+
+Status Client::end_iteration(std::int64_t iteration) {
+  shm::Message msg;
+  msg.type = shm::MessageType::kUserEvent;
+  msg.client_id = id_;
+  msg.iteration = iteration;
+  msg.name_id = node_->name_id("..end_iteration");
+  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  return Status::ok();
+}
+
+Status Client::finalize() {
+  shm::Message msg;
+  msg.type = shm::MessageType::kClientFinalize;
+  msg.client_id = id_;
+  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  return Status::ok();
+}
+
+ClientStats Client::stats() const { return node_->client_stats(id_); }
+
+}  // namespace dmr::core

@@ -1,0 +1,273 @@
+// The Damaris middleware (paper §III): dedicated-core asynchronous I/O
+// for one multicore SMP node.
+//
+// A DamarisNode owns the shared buffer and one *server shard* per
+// configured dedicated core (<dedicated cores="N"/>). Each shard has its
+// own event queue, metadata system and persistency layer and serves a
+// fixed group of clients — the paper's "symmetric" multi-dedicated-core
+// semantics (§V-A): client c is served by shard c mod N. With the
+// default N = 1 this degenerates to the single dedicated core used
+// throughout the paper's evaluation.
+//
+// Compute cores obtain Client handles and call write()/signal() — a
+// write is one copy into shared memory plus a notification push, which
+// is why the simulation-visible write time collapses to memcpy speed
+// (the paper's 0.2 s constant).
+//
+//   dmr::config::Config cfg = ...;                 // from XML
+//   dmr::core::DamarisNode node(cfg, /*clients=*/3);
+//   node.start();
+//   auto c = node.client(0);
+//   c.write("my_variable", step, data);            // df_write
+//   c.signal("my_event", step);                    // df_signal
+//   c.end_iteration(step);                         // triggers persistence
+//   c.finalize();                                  // df_finalize
+//   node.stop();
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "config/config.hpp"
+#include "core/metadata.hpp"
+#include "core/persistency.hpp"
+#include "core/plugin.hpp"
+#include "shm/event_queue.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::core {
+
+struct NodeOptions {
+  std::string output_dir = "damaris_out";
+  std::string file_prefix = "damaris";
+  int node_id = 0;
+  /// Client-side blocking-allocation timeout: a write spins (yielding)
+  /// until the server frees space or this much time has passed.
+  std::chrono::milliseconds alloc_timeout{5000};
+  /// Persist all blocks of an iteration once every client of the shard
+  /// has called end_iteration() (the default "write" behaviour).
+  bool persist_on_end_iteration = true;
+};
+
+/// Outcome of one completed iteration on a dedicated core.
+struct IterationRecord {
+  std::int64_t iteration = 0;
+  int shard = 0;
+  std::size_t blocks = 0;
+  Bytes raw_bytes = 0;
+  /// Wall time the dedicated core spent persisting this iteration.
+  double write_seconds = 0.0;
+};
+
+struct ServerStats {
+  std::vector<IterationRecord> iterations;
+  std::uint64_t messages_handled = 0;
+  std::uint64_t events_handled = 0;
+  /// Wall time the dedicated cores spent doing work (vs blocked idle),
+  /// summed over shards.
+  double busy_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  int shards = 1;
+  PersistencyStats persistency;
+
+  /// Fraction of time the dedicated cores were idle — the paper's
+  /// "spare time" (75%–99% in §IV-C2).
+  double spare_fraction() const {
+    const double window = elapsed_seconds * shards;
+    return window <= 0.0 ? 0.0 : 1.0 - busy_seconds / window;
+  }
+};
+
+/// Per-client view of write-side costs (what the simulation perceives).
+struct ClientStats {
+  std::uint64_t writes = 0;
+  Bytes bytes_written = 0;
+  double write_seconds = 0.0;   // total time spent inside write()/commit()
+  double max_write_seconds = 0.0;
+  std::uint64_t alloc_stalls = 0;  // writes that had to wait for space
+};
+
+class DamarisNode;
+
+/// Lightweight client handle (one per compute core). Copyable; methods
+/// are safe to call concurrently from different clients but each client
+/// id must be driven by a single thread.
+class Client {
+ public:
+  Client() = default;
+
+  /// df_write: copies `data` into shared memory and notifies the server.
+  /// The variable must be declared in the configuration; `data` must
+  /// match its layout size.
+  Status write(const std::string& variable, std::int64_t iteration,
+               std::span<const std::byte> data);
+
+  /// Variant for dynamically shaped arrays (paper: "arrays that don't
+  /// have a static shape"): layout is taken from the config but the
+  /// payload size is whatever the caller provides.
+  Status write_sized(const std::string& variable, std::int64_t iteration,
+                     std::span<const std::byte> data);
+
+  /// dc_alloc: reserves the variable's block in shared memory and
+  /// returns a writable view — the simulation computes in place and then
+  /// calls commit(), avoiding the extra copy.
+  Result<std::span<std::byte>> alloc(const std::string& variable,
+                                     std::int64_t iteration);
+
+  /// dc_commit: publishes a block previously obtained from alloc().
+  Status commit(const std::string& variable, std::int64_t iteration);
+
+  /// df_signal: sends a user-defined event to this client's dedicated
+  /// core. Events with scope="global" fire once all clients of the
+  /// shard have signalled them.
+  Status signal(const std::string& event, std::int64_t iteration);
+
+  /// Declares this client done with `iteration`; when all clients of the
+  /// shard have, the shard runs the end-of-iteration behaviour
+  /// (persist + free).
+  Status end_iteration(std::int64_t iteration);
+
+  /// df_finalize for this client. After the last client of a shard
+  /// finalizes, that shard drains and exits.
+  Status finalize();
+
+  int id() const { return id_; }
+  ClientStats stats() const;
+
+ private:
+  friend class DamarisNode;
+  Client(DamarisNode* node, int id) : node_(node), id_(id) {}
+
+  DamarisNode* node_ = nullptr;
+  int id_ = -1;
+};
+
+class DamarisNode {
+ public:
+  /// The number of dedicated cores (server shards) comes from the
+  /// configuration's <dedicated cores="N"/>.
+  DamarisNode(config::Config cfg, int num_clients, NodeOptions opts = {});
+  ~DamarisNode();
+
+  DamarisNode(const DamarisNode&) = delete;
+  DamarisNode& operator=(const DamarisNode&) = delete;
+
+  /// Launches the dedicated-core thread(s). Must be called before
+  /// clients write.
+  Status start();
+
+  /// Client handle for compute core `id` in [0, num_clients).
+  Client client(int id);
+
+  /// Waits for the servers to drain and exit (all clients must have
+  /// finalized, otherwise stop() closes the queues and the servers exit
+  /// after processing what was already queued).
+  Status stop();
+
+  /// Register custom actions before start().
+  PluginRegistry& plugins() { return plugins_; }
+
+  const config::Config& config() const { return cfg_; }
+  int num_clients() const { return num_clients_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  shm::SharedBuffer& buffer() { return *buffer_; }
+
+  ServerStats stats() const;
+  ClientStats client_stats(int id) const;
+
+  /// Analytics values published by builtin/stat plugins, keyed by
+  /// "<variable>.<stat>" (e.g. "temperature.max").
+  std::map<std::string, double> analytics() const;
+  void publish_analytic(const std::string& key, double value);
+
+  // --- steering (the "Inline Steering" of the Damaris acronym) ---
+
+  /// Current value of a steerable parameter declared in the
+  /// configuration (<parameter name=... value=.../>); nullopt when
+  /// undeclared. Thread-safe; clients typically poll it each iteration.
+  std::optional<std::string> parameter(const std::string& name) const;
+  /// Typed reader: nullopt when undeclared or not parseable.
+  std::optional<long long> parameter_int(const std::string& name) const;
+  std::optional<double> parameter_double(const std::string& name) const;
+
+  /// Updates a declared parameter (called by plugins or external
+  /// steering tools); fails for undeclared names so typos surface.
+  Status set_parameter(const std::string& name, const std::string& value);
+
+  /// Injects a user event from *outside* any client — the paper's
+  /// "events sent either by the simulation or by external tools". The
+  /// action runs once (on shard 0) regardless of the event's scope.
+  Status signal_external(const std::string& event, std::int64_t iteration);
+
+ private:
+  friend class Client;
+
+  /// One dedicated core: queue + metadata + persistency + its loop
+  /// state. All fields except `queue` are touched only by its thread.
+  struct Shard {
+    Shard(std::string output_dir, std::string prefix, int node_id,
+          int shard_id, int num_shards);
+
+    int id;
+    int clients = 0;  // clients assigned to this shard
+    shm::EventQueue queue;
+    MetadataManager metadata;
+    PersistencyLayer persistency;
+    std::map<std::int64_t, int> end_counts;
+    std::map<std::pair<std::uint32_t, std::int64_t>, int> event_counts;
+    int finalized_clients = 0;
+    std::thread thread;
+  };
+
+  int shard_of(int client) const {
+    return client % static_cast<int>(shards_.size());
+  }
+
+  void server_main(Shard& shard);
+  void handle_message(Shard& shard, const shm::Message& msg);
+  void complete_iteration(Shard& shard, std::int64_t iteration);
+  void run_event(Shard& shard, const config::EventDecl& decl,
+                 std::int64_t iteration, int source);
+  void register_builtin_actions();
+
+  Result<shm::Block> blocking_allocate(Bytes size, int client);
+  std::uint32_t name_id(const std::string& name) const;  // ~0u if unknown
+
+  config::Config cfg_;
+  int num_clients_;
+  NodeOptions opts_;
+
+  std::unique_ptr<shm::SharedBuffer> buffer_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  PluginRegistry plugins_;
+
+  std::vector<std::string> names_;            // id -> name
+  std::map<std::string, std::uint32_t> ids_;  // name -> id
+
+  bool started_ = false;
+
+  // pending dc_alloc blocks: (client, name_id, iteration) -> block
+  std::mutex pending_mutex_;
+  std::map<std::tuple<int, std::uint32_t, std::int64_t>, shm::Block>
+      pending_allocs_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats server_stats_;
+  std::vector<ClientStats> client_stats_;
+  std::map<std::string, double> analytics_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  mutable std::mutex params_mutex_;
+  std::map<std::string, std::string> parameters_;
+};
+
+}  // namespace dmr::core

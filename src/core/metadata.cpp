@@ -1,0 +1,60 @@
+#include "core/metadata.hpp"
+
+namespace dmr::core {
+
+std::optional<VariableBlock> MetadataManager::add(VariableBlock block) {
+  Key key{block.iteration, block.variable, block.source};
+  auto [it, inserted] = blocks_.try_emplace(key, std::move(block));
+  if (inserted) return std::nullopt;
+  VariableBlock replaced = std::move(it->second);
+  it->second = std::move(block);
+  return replaced;
+}
+
+const VariableBlock* MetadataManager::find(const std::string& variable,
+                                           std::int64_t iteration,
+                                           int source) const {
+  auto it = blocks_.find(Key{iteration, variable, source});
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<const VariableBlock*> MetadataManager::blocks_of(
+    std::int64_t iteration) const {
+  std::vector<const VariableBlock*> out;
+  for (auto it = blocks_.lower_bound(Key{iteration, "", -1});
+       it != blocks_.end() && it->first.iteration == iteration; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<VariableBlock> MetadataManager::take_iteration(
+    std::int64_t iteration) {
+  std::vector<VariableBlock> out;
+  auto it = blocks_.lower_bound(Key{iteration, "", -1});
+  while (it != blocks_.end() && it->first.iteration == iteration) {
+    out.push_back(std::move(it->second));
+    it = blocks_.erase(it);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> MetadataManager::pending_iterations() const {
+  std::vector<std::int64_t> out;
+  for (const auto& [key, block] : blocks_) {
+    if (out.empty() || out.back() != key.iteration) {
+      out.push_back(key.iteration);
+    }
+  }
+  return out;
+}
+
+std::size_t MetadataManager::total_blocks() const { return blocks_.size(); }
+
+Bytes MetadataManager::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [key, block] : blocks_) total += block.size;
+  return total;
+}
+
+}  // namespace dmr::core

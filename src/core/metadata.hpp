@@ -1,0 +1,68 @@
+// Server-side metadata system (paper §III-B "Metadata management").
+//
+// Every block written by a client is characterized by the tuple
+// ⟨name, iteration, source, layout⟩. The event processing engine adds an
+// entry on each write-notification; data stays in shared memory until
+// actions consume it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "format/types.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::core {
+
+/// One written block, as tracked by the dedicated core.
+struct VariableBlock {
+  std::string variable;
+  std::int64_t iteration = 0;
+  int source = -1;  // client id
+  shm::Block block;
+  format::Layout layout;
+  /// Actual payload size (== layout.byte_size() for static layouts;
+  /// smaller/larger for dynamically shaped arrays).
+  Bytes size = 0;
+};
+
+/// Owned by the server thread; not thread-safe by design (all access is
+/// from the event processing engine).
+class MetadataManager {
+ public:
+  /// Records a block. Duplicate tuples are replaced (a client may rewrite
+  /// a variable within an iteration); the replaced block is returned so
+  /// the caller can free its shared memory.
+  std::optional<VariableBlock> add(VariableBlock block);
+
+  /// Finds a specific block (nullptr if absent).
+  const VariableBlock* find(const std::string& variable,
+                            std::int64_t iteration, int source) const;
+
+  /// All blocks of one iteration, ordered by (variable, source).
+  std::vector<const VariableBlock*> blocks_of(std::int64_t iteration) const;
+
+  /// Removes and returns all blocks of an iteration (the persistency
+  /// layer takes ownership and frees the shared memory afterwards).
+  std::vector<VariableBlock> take_iteration(std::int64_t iteration);
+
+  /// Iterations currently holding data, ascending.
+  std::vector<std::int64_t> pending_iterations() const;
+
+  std::size_t total_blocks() const;
+  Bytes total_bytes() const;
+
+ private:
+  struct Key {
+    std::int64_t iteration;
+    std::string variable;
+    int source;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, VariableBlock> blocks_;
+};
+
+}  // namespace dmr::core

@@ -1,0 +1,65 @@
+#include "core/persistency.hpp"
+
+#include <filesystem>
+
+#include "format/pipeline.hpp"
+
+namespace dmr::core {
+
+namespace {
+
+format::Pipeline pipeline_for(const config::Config& cfg,
+                              const std::string& variable) {
+  const config::VariableDecl* decl = cfg.find_variable(variable);
+  if (!decl || decl->pipeline.empty()) return format::Pipeline::identity();
+  if (decl->pipeline == "lossless") return format::Pipeline::lossless();
+  if (decl->pipeline == "visualization") {
+    return format::Pipeline::visualization();
+  }
+  return format::Pipeline::identity();
+}
+
+}  // namespace
+
+PersistencyLayer::PersistencyLayer(std::string output_dir, std::string prefix,
+                                   int node_id)
+    : output_dir_(std::move(output_dir)),
+      prefix_(std::move(prefix)),
+      node_id_(node_id) {}
+
+std::string PersistencyLayer::file_path(std::int64_t iteration) const {
+  return output_dir_ + "/" + prefix_ + "_node" + std::to_string(node_id_) +
+         "_it" + std::to_string(iteration) + ".dh5";
+}
+
+Status PersistencyLayer::write_blocks(
+    std::int64_t iteration, const std::vector<VariableBlock>& blocks,
+    const shm::SharedBuffer& buffer, const config::Config& cfg) {
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir_, ec);
+  if (ec) return io_error("cannot create " + output_dir_);
+
+  auto writer = format::Dh5Writer::create(file_path(iteration));
+  if (!writer.is_ok()) return writer.status();
+
+  for (const VariableBlock& b : blocks) {
+    format::DatasetInfo info;
+    info.name = b.variable;
+    info.iteration = b.iteration;
+    info.source = b.source;
+    info.layout = b.layout;
+    const std::span<const std::byte> raw(buffer.data(b.block), b.size);
+    Status s = writer.value().add_dataset(info, raw,
+                                          pipeline_for(cfg, b.variable));
+    if (!s.is_ok()) return s;
+    ++stats_.datasets_written;
+  }
+  stats_.raw_bytes += writer.value().raw_bytes();
+  stats_.stored_bytes += writer.value().stored_bytes();
+  Status s = writer.value().finalize();
+  if (!s.is_ok()) return s;
+  ++stats_.files_written;
+  return Status::ok();
+}
+
+}  // namespace dmr::core

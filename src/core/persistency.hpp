@@ -1,0 +1,60 @@
+// Persistency layer (paper §III-C): the dedicated core gathers the
+// blocks of one iteration into a single large DH5 file — one file per
+// node per iteration instead of one per process — optionally compressing
+// each variable through its configured codec pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "config/config.hpp"
+#include "core/metadata.hpp"
+#include "format/dh5.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::core {
+
+struct PersistencyStats {
+  std::uint64_t files_written = 0;
+  std::uint64_t datasets_written = 0;
+  Bytes raw_bytes = 0;
+  Bytes stored_bytes = 0;
+
+  double compression_ratio() const {
+    return stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(stored_bytes);
+  }
+};
+
+class PersistencyLayer {
+ public:
+  /// Files are written under `output_dir` as
+  /// `<prefix>_node<id>_it<iteration>.dh5`.
+  PersistencyLayer(std::string output_dir, std::string prefix, int node_id);
+
+  /// Writes all `blocks` (typically one iteration) into one file, reading
+  /// payloads from `buffer`. Pipelines are resolved per variable from
+  /// `cfg` ("" = raw, "lossless", "visualization"). Does NOT free the
+  /// blocks — the caller owns shared memory lifetime.
+  Status write_blocks(std::int64_t iteration,
+                      const std::vector<VariableBlock>& blocks,
+                      const shm::SharedBuffer& buffer,
+                      const config::Config& cfg);
+
+  /// Path the file for `iteration` is (or would be) written to.
+  std::string file_path(std::int64_t iteration) const;
+
+  const PersistencyStats& stats() const { return stats_; }
+
+ private:
+  std::string output_dir_;
+  std::string prefix_;
+  int node_id_;
+  PersistencyStats stats_;
+};
+
+}  // namespace dmr::core

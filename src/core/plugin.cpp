@@ -1,0 +1,14 @@
+#include "core/plugin.hpp"
+
+namespace dmr::core {
+
+void PluginRegistry::register_action(const std::string& name, PluginFn fn) {
+  actions_[name] = std::move(fn);
+}
+
+const PluginFn* PluginRegistry::find(const std::string& name) const {
+  auto it = actions_.find(name);
+  return it == actions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dmr::core

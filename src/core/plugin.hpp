@@ -1,0 +1,51 @@
+// Plugin system (paper §III-C "Behavior management and user-defined
+// actions").
+//
+// A plugin is a function the event processing engine calls in response to
+// an event sent by the simulation (df_signal). The original loads them
+// from shared objects or Python; here plugins are registered callables —
+// the same extension point without a dynamic loader.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/metadata.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::core {
+
+class DamarisNode;
+
+/// Everything an action may touch when it runs on the dedicated core.
+struct EventContext {
+  DamarisNode& node;
+  /// The signalling client's shard (dedicated core): its metadata view.
+  MetadataManager& metadata;
+  shm::SharedBuffer& buffer;
+  std::string event_name;
+  std::int64_t iteration = 0;
+  int source = -1;  // client that signalled (or -1 for group events)
+  int shard = 0;    // which dedicated core is running this action
+};
+
+using PluginFn = std::function<void(EventContext&)>;
+
+class PluginRegistry {
+ public:
+  /// Registers (or replaces) an action under `name`.
+  void register_action(const std::string& name, PluginFn fn);
+
+  /// nullptr when unknown.
+  const PluginFn* find(const std::string& name) const;
+
+  bool contains(const std::string& name) const { return find(name); }
+  std::size_t size() const { return actions_.size(); }
+
+ private:
+  std::map<std::string, PluginFn> actions_;
+};
+
+}  // namespace dmr::core

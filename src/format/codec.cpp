@@ -1,0 +1,283 @@
+#include "format/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dmr::format {
+
+namespace {
+
+// ----------------------------------------------------------- identity
+
+class IdentityCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kIdentity; }
+  std::string name() const override { return "identity"; }
+  bool lossless() const override { return true; }
+
+  std::vector<std::byte> encode(
+      std::span<const std::byte> input) const override {
+    return {input.begin(), input.end()};
+  }
+
+  Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t hint) const override {
+    if (hint != input.size()) {
+      return corrupt_data("identity: size mismatch");
+    }
+    return std::vector<std::byte>(input.begin(), input.end());
+  }
+};
+
+// ---------------------------------------------------------------- RLE
+// PackBits-style: control byte c in [0,127] copies c+1 literal bytes;
+// c in [129,255] repeats the next byte 257-c times; 128 is a no-op.
+
+class RleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRle; }
+  std::string name() const override { return "rle"; }
+  bool lossless() const override { return true; }
+
+  std::vector<std::byte> encode(
+      std::span<const std::byte> input) const override {
+    std::vector<std::byte> out;
+    out.reserve(input.size() / 2 + 16);
+    std::size_t i = 0;
+    const std::size_t n = input.size();
+    while (i < n) {
+      // Measure the run starting at i.
+      std::size_t run = 1;
+      while (i + run < n && run < 128 && input[i + run] == input[i]) ++run;
+      if (run >= 3) {
+        out.push_back(static_cast<std::byte>(257 - run));
+        out.push_back(input[i]);
+        i += run;
+        continue;
+      }
+      // Collect literals until the next run of >= 3 (or 128 cap).
+      std::size_t lit_start = i;
+      std::size_t lit_len = 0;
+      while (i < n && lit_len < 128) {
+        std::size_t r = 1;
+        while (i + r < n && r < 3 && input[i + r] == input[i]) ++r;
+        if (r >= 3) break;
+        ++i;
+        ++lit_len;
+      }
+      out.push_back(static_cast<std::byte>(lit_len - 1));
+      out.insert(out.end(), input.begin() + lit_start,
+                 input.begin() + lit_start + lit_len);
+    }
+    return out;
+  }
+
+  Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t hint) const override {
+    std::vector<std::byte> out;
+    out.reserve(hint);
+    std::size_t i = 0;
+    const std::size_t n = input.size();
+    while (i < n) {
+      const unsigned c = static_cast<unsigned>(input[i++]);
+      if (c == 128) continue;
+      if (c < 128) {
+        const std::size_t len = c + 1;
+        if (i + len > n) return corrupt_data("rle: truncated literal run");
+        out.insert(out.end(), input.begin() + i, input.begin() + i + len);
+        i += len;
+      } else {
+        if (i >= n) return corrupt_data("rle: truncated repeat");
+        const std::size_t len = 257 - c;
+        out.insert(out.end(), len, input[i++]);
+      }
+      if (out.size() > hint) return corrupt_data("rle: output exceeds hint");
+    }
+    if (out.size() != hint) return corrupt_data("rle: output size mismatch");
+    return out;
+  }
+};
+
+// ---------------------------------------------------------- XOR delta
+// XOR of consecutive 32-bit words; trailing bytes copied verbatim.
+
+class XorDeltaCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kXorDelta; }
+  std::string name() const override { return "xor-delta"; }
+  bool lossless() const override { return true; }
+
+  std::vector<std::byte> encode(
+      std::span<const std::byte> input) const override {
+    std::vector<std::byte> out(input.size());
+    const std::size_t words = input.size() / 4;
+    std::uint32_t prev = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint32_t cur;
+      std::memcpy(&cur, input.data() + w * 4, 4);
+      const std::uint32_t enc = cur ^ prev;
+      std::memcpy(out.data() + w * 4, &enc, 4);
+      prev = cur;
+    }
+    std::memcpy(out.data() + words * 4, input.data() + words * 4,
+                input.size() - words * 4);
+    return out;
+  }
+
+  Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t hint) const override {
+    if (hint != input.size()) {
+      return corrupt_data("xor-delta: size mismatch");
+    }
+    std::vector<std::byte> out(input.size());
+    const std::size_t words = input.size() / 4;
+    std::uint32_t prev = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint32_t enc;
+      std::memcpy(&enc, input.data() + w * 4, 4);
+      const std::uint32_t cur = enc ^ prev;
+      std::memcpy(out.data() + w * 4, &cur, 4);
+      prev = cur;
+    }
+    std::memcpy(out.data() + words * 4, input.data() + words * 4,
+                input.size() - words * 4);
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ float16
+// IEEE 754 binary32 -> binary16 with round-to-nearest-even. 2x size
+// reduction before the lossless stage; this is the paper's "floating
+// point precision can be reduced to 16 bits" for visualization outputs.
+
+std::uint16_t float_to_half(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (exp == 128) {  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0));
+  }
+  if (exp > 15) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (exp >= -14) {  // normal half
+    std::uint32_t half = (static_cast<std::uint32_t>(exp + 15) << 10) |
+                         (mant >> 13);
+    // Round to nearest even on the 13 dropped bits.
+    const std::uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  if (exp >= -24) {  // subnormal half
+    mant |= 0x800000u;  // implicit bit
+    const int shift = -exp - 14 + 13;
+    std::uint32_t half = mant >> (shift + 1);
+    const std::uint32_t rem = mant & ((2u << shift) - 1);
+    const std::uint32_t halfway = 1u << shift;
+    if (rem > halfway || (rem == halfway && (half & 1))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+}
+
+float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while (!(mant & 0x400u));
+      mant &= 0x3FFu;
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            (mant << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+class Float16Codec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kFloat16; }
+  std::string name() const override { return "float16"; }
+  bool lossless() const override { return false; }
+
+  std::vector<std::byte> encode(
+      std::span<const std::byte> input) const override {
+    const std::size_t n = input.size() / 4;
+    std::vector<std::byte> out(n * 2 + input.size() % 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      float f;
+      std::memcpy(&f, input.data() + i * 4, 4);
+      const std::uint16_t h = float_to_half(f);
+      std::memcpy(out.data() + i * 2, &h, 2);
+    }
+    // Trailing non-float bytes pass through.
+    std::memcpy(out.data() + n * 2, input.data() + n * 4, input.size() % 4);
+    return out;
+  }
+
+  Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t hint) const override {
+    const std::size_t tail = hint % 4;
+    if (hint / 4 * 2 + tail != input.size()) {
+      return corrupt_data("float16: size mismatch");
+    }
+    const std::size_t n = hint / 4;
+    std::vector<std::byte> out(hint);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint16_t h;
+      std::memcpy(&h, input.data() + i * 2, 2);
+      const float f = half_to_float(h);
+      std::memcpy(out.data() + i * 4, &f, 4);
+    }
+    std::memcpy(out.data() + n * 4, input.data() + n * 2, tail);
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec* lz_codec_singleton();       // defined in lz.cpp
+const Codec* huffman_codec_singleton();  // defined in huffman.cpp
+
+const Codec* codec_for(CodecId id) {
+  static const IdentityCodec identity;
+  static const RleCodec rle;
+  static const XorDeltaCodec xor_delta;
+  static const Float16Codec float16;
+  switch (id) {
+    case CodecId::kIdentity: return &identity;
+    case CodecId::kRle: return &rle;
+    case CodecId::kLz: return lz_codec_singleton();
+    case CodecId::kXorDelta: return &xor_delta;
+    case CodecId::kFloat16: return &float16;
+    case CodecId::kHuffman: return huffman_codec_singleton();
+  }
+  return nullptr;
+}
+
+const Codec* codec_by_name(const std::string& name) {
+  for (CodecId id : {CodecId::kIdentity, CodecId::kRle, CodecId::kLz,
+                     CodecId::kXorDelta, CodecId::kFloat16,
+                     CodecId::kHuffman}) {
+    const Codec* c = codec_for(id);
+    if (c && c->name() == name) return c;
+  }
+  return nullptr;
+}
+
+}  // namespace dmr::format

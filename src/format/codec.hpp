@@ -1,0 +1,65 @@
+// Compression codecs for the dedicated core's "smart actions" (§IV-D):
+// the paper reports 187% lossless (gzip) and ~600% when coupling 16-bit
+// precision reduction with lossless compression. Everything here is
+// built from scratch:
+//
+//   kRle       byte-run-length coding (great after a predictor)
+//   kLz        LZ77 with hash-chain matching, byte-oriented token format
+//   kHuffman   canonical Huffman entropy coding (LZ + Huffman together
+//              form the deflate-class gzip stand-in)
+//   kXorDelta  XOR of consecutive 32-bit words — a float predictor that
+//              turns smooth fields into near-zero residues
+//   kFloat16   lossy float32 -> IEEE binary16 (the paper's "reduce the
+//              floating point precision to 16 bits")
+//
+// Codecs compose into pipelines (pipeline.hpp), e.g.
+// {kXorDelta, kLz} for lossless or {kFloat16, kLz} for visualization
+// dumps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dmr::format {
+
+enum class CodecId : std::uint8_t {
+  kIdentity = 0,
+  kRle = 1,
+  kLz = 2,
+  kXorDelta = 3,
+  kFloat16 = 4,
+  kHuffman = 5,
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+  virtual std::string name() const = 0;
+  /// Lossy codecs do not round-trip bit-exactly.
+  virtual bool lossless() const = 0;
+
+  /// Encodes `input` into a fresh buffer.
+  virtual std::vector<std::byte> encode(
+      std::span<const std::byte> input) const = 0;
+
+  /// Decodes; `decoded_size_hint` is the expected output size (stored in
+  /// the container) — codecs may use or verify it.
+  virtual Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t decoded_size_hint) const = 0;
+};
+
+/// Returns the singleton codec for `id` (nullptr for unknown ids).
+const Codec* codec_for(CodecId id);
+
+/// Convenience: name lookup ("rle", "lz", "xor-delta", "float16",
+/// "identity"); returns nullptr for unknown names.
+const Codec* codec_by_name(const std::string& name);
+
+}  // namespace dmr::format

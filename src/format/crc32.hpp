@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for dataset integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dmr::format {
+
+/// Computes CRC-32 of `data`; `seed` allows incremental computation:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace dmr::format

@@ -1,0 +1,174 @@
+// LZ77 codec with hash-chain match search (the lossless workhorse that
+// stands in for gzip's deflate).
+//
+// Token format (byte-oriented, no entropy stage):
+//   tag & 0x80 == 0: literal run, length = tag (1..127), followed by the
+//                    literal bytes;
+//   tag & 0x80 != 0: match, length = (tag & 0x7F) + kMinMatch
+//                    (4..131), followed by a 2-byte little-endian
+//                    distance (1..65535).
+//
+// On smooth simulation fields (after the xor-delta predictor) this
+// reaches gzip-class ratios; on random data it degrades gracefully to
+// ~100.8% of the input (1 tag byte per 127 literals).
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "format/codec.hpp"
+
+namespace dmr::format {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 131;       // kMinMatch + 127
+constexpr std::size_t kWindow = 65535;       // max distance
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainSteps = 48;
+
+inline std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+class LzCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLz; }
+  std::string name() const override { return "lz"; }
+  bool lossless() const override { return true; }
+
+  std::vector<std::byte> encode(
+      std::span<const std::byte> input) const override {
+    const std::size_t n = input.size();
+    std::vector<std::byte> out;
+    out.reserve(n / 2 + 16);
+
+    if (n < kMinMatch) {
+      emit_literals(out, input.data(), n);
+      return out;
+    }
+
+    // head[h]: most recent position with hash h; chain[i]: previous
+    // position with the same hash as i. Positions offset by +1 so 0
+    // means "none".
+    std::vector<std::uint32_t> head(kHashSize, 0);
+    std::vector<std::uint32_t> chain(n, 0);
+
+    std::size_t lit_start = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t best_len = 0;
+      std::size_t best_dist = 0;
+      if (i + kMinMatch <= n) {
+        const std::uint32_t h = hash4(input.data() + i);
+        std::uint32_t cand = head[h];
+        int steps = 0;
+        while (cand != 0 && steps++ < kMaxChainSteps) {
+          const std::size_t pos = cand - 1;
+          const std::size_t dist = i - pos;
+          if (dist > kWindow) break;  // chain is ordered by recency
+          const std::size_t limit = std::min(kMaxMatch, n - i);
+          std::size_t len = 0;
+          while (len < limit && input[pos + len] == input[i + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = dist;
+            if (len == limit) break;
+          }
+          cand = chain[pos];
+        }
+      }
+
+      if (best_len >= kMinMatch) {
+        flush_literals(out, input.data(), lit_start, i);
+        out.push_back(static_cast<std::byte>(
+            0x80u | static_cast<unsigned>(best_len - kMinMatch)));
+        const std::uint16_t d = static_cast<std::uint16_t>(best_dist);
+        out.push_back(static_cast<std::byte>(d & 0xFF));
+        out.push_back(static_cast<std::byte>(d >> 8));
+        // Insert hash entries for every position we skip over.
+        const std::size_t end = std::min(i + best_len, n - kMinMatch + 1);
+        for (std::size_t p = i; p < end; ++p) {
+          const std::uint32_t h2 = hash4(input.data() + p);
+          chain[p] = head[h2];
+          head[h2] = static_cast<std::uint32_t>(p + 1);
+        }
+        i += best_len;
+        lit_start = i;
+      } else {
+        if (i + kMinMatch <= n) {
+          const std::uint32_t h = hash4(input.data() + i);
+          chain[i] = head[h];
+          head[h] = static_cast<std::uint32_t>(i + 1);
+        }
+        ++i;
+      }
+    }
+    flush_literals(out, input.data(), lit_start, n);
+    return out;
+  }
+
+  Result<std::vector<std::byte>> decode(
+      std::span<const std::byte> input, std::size_t hint) const override {
+    std::vector<std::byte> out;
+    out.reserve(hint);
+    std::size_t i = 0;
+    const std::size_t n = input.size();
+    while (i < n) {
+      const unsigned tag = static_cast<unsigned>(input[i++]);
+      if (tag & 0x80u) {
+        const std::size_t len = (tag & 0x7Fu) + kMinMatch;
+        if (i + 2 > n) return corrupt_data("lz: truncated match");
+        const std::size_t dist = static_cast<unsigned>(input[i]) |
+                                 (static_cast<unsigned>(input[i + 1]) << 8);
+        i += 2;
+        if (dist == 0 || dist > out.size()) {
+          return corrupt_data("lz: bad match distance");
+        }
+        // Byte-by-byte copy: overlapping matches are legal (RLE-style).
+        std::size_t src = out.size() - dist;
+        for (std::size_t k = 0; k < len; ++k) {
+          out.push_back(out[src + k]);
+        }
+      } else {
+        const std::size_t len = tag;
+        if (len == 0) return corrupt_data("lz: zero-length literal run");
+        if (i + len > n) return corrupt_data("lz: truncated literals");
+        out.insert(out.end(), input.begin() + i, input.begin() + i + len);
+        i += len;
+      }
+      if (out.size() > hint) return corrupt_data("lz: output exceeds hint");
+    }
+    if (out.size() != hint) return corrupt_data("lz: output size mismatch");
+    return out;
+  }
+
+ private:
+  static void emit_literals(std::vector<std::byte>& out, const std::byte* p,
+                            std::size_t len) {
+    while (len > 0) {
+      const std::size_t chunk = std::min<std::size_t>(len, 127);
+      out.push_back(static_cast<std::byte>(chunk));
+      out.insert(out.end(), p, p + chunk);
+      p += chunk;
+      len -= chunk;
+    }
+  }
+
+  static void flush_literals(std::vector<std::byte>& out, const std::byte* base,
+                             std::size_t from, std::size_t to) {
+    if (to > from) emit_literals(out, base + from, to - from);
+  }
+};
+
+}  // namespace
+
+const Codec* lz_codec_singleton() {
+  static const LzCodec lz;
+  return &lz;
+}
+
+}  // namespace dmr::format

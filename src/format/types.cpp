@@ -1,0 +1,64 @@
+#include "format/types.hpp"
+
+namespace dmr::format {
+
+std::size_t datatype_size(DataType t) {
+  switch (t) {
+    case DataType::kInt8:
+    case DataType::kUInt8:
+      return 1;
+    case DataType::kInt16:
+    case DataType::kUInt16:
+      return 2;
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kUInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+std::string datatype_name(DataType t) {
+  switch (t) {
+    case DataType::kInt8: return "int8";
+    case DataType::kUInt8: return "uint8";
+    case DataType::kInt16: return "int16";
+    case DataType::kUInt16: return "uint16";
+    case DataType::kInt32: return "int32";
+    case DataType::kUInt32: return "uint32";
+    case DataType::kInt64: return "int64";
+    case DataType::kUInt64: return "uint64";
+    case DataType::kFloat32: return "float32";
+    case DataType::kFloat64: return "float64";
+  }
+  return "?";
+}
+
+bool parse_datatype(const std::string& name, DataType& out) {
+  static const struct {
+    const char* name;
+    DataType type;
+  } kTable[] = {
+      {"int8", DataType::kInt8},       {"uint8", DataType::kUInt8},
+      {"int16", DataType::kInt16},     {"uint16", DataType::kUInt16},
+      {"int32", DataType::kInt32},     {"uint32", DataType::kUInt32},
+      {"int64", DataType::kInt64},     {"uint64", DataType::kUInt64},
+      {"float32", DataType::kFloat32}, {"float64", DataType::kFloat64},
+      // Fortran-flavoured aliases used in the paper's example config.
+      {"real", DataType::kFloat32},    {"double", DataType::kFloat64},
+      {"integer", DataType::kInt32},
+  };
+  for (const auto& e : kTable) {
+    if (name == e.name) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dmr::format

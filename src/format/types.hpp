@@ -1,0 +1,56 @@
+// Element types and array layouts for self-describing datasets.
+//
+// A Layout is the paper's ⟨type, dimensions, extents⟩ description of a
+// variable; it usually comes from the XML configuration rather than from
+// the data path (§III-B "Configuration file").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dmr::format {
+
+enum class DataType : std::uint8_t {
+  kInt8 = 0,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+};
+
+/// Size of one element in bytes.
+std::size_t datatype_size(DataType t);
+
+/// Canonical name ("float32", "int64", ...), used by the XML config.
+std::string datatype_name(DataType t);
+
+/// Parses a type name; returns false on unknown names.
+bool parse_datatype(const std::string& name, DataType& out);
+
+/// N-dimensional dense array layout.
+struct Layout {
+  DataType type = DataType::kFloat32;
+  std::vector<std::uint64_t> dims;
+
+  std::uint64_t element_count() const {
+    std::uint64_t n = 1;
+    for (auto d : dims) n *= d;
+    return dims.empty() ? 0 : n;
+  }
+  Bytes byte_size() const {
+    return element_count() * datatype_size(type);
+  }
+  bool operator==(const Layout&) const = default;
+};
+
+}  // namespace dmr::format

@@ -1,0 +1,238 @@
+#include "fs/sim_fs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "des/process.hpp"
+
+namespace dmr::fs {
+
+namespace {
+/// Stable stream id for (file, client) so servers can detect switches.
+std::uint64_t stream_key(std::uint64_t file_id, std::uint64_t client) {
+  return file_id * 1000003ULL + client;
+}
+}  // namespace
+
+SimFs::Server::Server(des::Engine& eng, const cluster::FsSpec& spec,
+                      cluster::NoiseModel noise_model)
+    : queue(eng, spec.server_bandwidth, spec.per_op_overhead),
+      lock_manager(eng, 1.0 /* rate unused; duration-based ops */),
+      metadata(eng, 1.0),
+      noise(std::move(noise_model)) {}
+
+SimFs::SimFs(cluster::Machine& machine)
+    : machine_(&machine),
+      spec_(machine.spec().fs),
+      eng_(&machine.engine()),
+      mds_noise_(machine.spec().noise,
+                 Rng::for_entity(machine.seed(), 0x4d445300ULL)) {
+  servers_.reserve(spec_.data_servers);
+  for (int i = 0; i < spec_.data_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(
+        *eng_, spec_,
+        cluster::NoiseModel(machine.spec().noise,
+                            Rng::for_entity(machine.seed(),
+                                            0x53525600ULL + i))));
+  }
+  if (spec_.metadata == cluster::MetadataModel::kSerializedSingleServer) {
+    mds_ = std::make_unique<des::ServiceQueue>(*eng_, 1.0);
+  }
+}
+
+int SimFs::server_of(const FileHandle& file,
+                     std::uint64_t stripe_index) const {
+  const int within = static_cast<int>(stripe_index %
+                                      static_cast<std::uint64_t>(
+                                          std::max(1, file.stripe_count)));
+  return (file.first_server + within) % num_servers();
+}
+
+SimTime SimFs::commit_chunk(int server, std::uint64_t stream_id, Bytes bytes,
+                            SimTime earliest_start, bool shared_file) {
+  Server& s = *servers_[server];
+  SimTime extra = 0.0;
+  if (s.last_stream != stream_id) {
+    extra += spec_.stream_switch_cost;
+    s.last_stream = stream_id;
+    ++stats_.stream_switches;
+  }
+  double mult = s.noise.storage_multiplier();
+  if (shared_file) {
+    mult *= spec_.shared_write_penalty;
+  }
+  ++stats_.write_ops;
+  return s.queue.commit_from(earliest_start, bytes, mult, extra);
+}
+
+void SimFs::spawn_interference(SimTime horizon) {
+  const cluster::NoiseSpec& noise = machine_->spec().noise;
+  if (noise.burst_slowdown <= 0.0) return;
+  for (int i = 0; i < num_servers(); ++i) {
+    servers_[i]->burst_rng =
+        Rng::for_entity(machine_->seed(), 0x42555253ULL + i);
+    // The foreign job's I/O occupies the server directly: during an ON
+    // period of length L with slowdown k, it steals (k-1)*L of service
+    // time from whatever our job has queued there — ops in flight slow
+    // down by ~k, idle periods absorb the work for free, exactly like
+    // real cross-application contention.
+    eng_->spawn([](des::Engine& eng, Server& srv, cluster::NoiseSpec ns,
+                   SimTime end) -> des::Process {
+      while (eng.now() < end) {
+        co_await eng.delay(srv.burst_rng.exponential(ns.burst_off_mean));
+        const SimTime on = srv.burst_rng.exponential(ns.burst_on_mean);
+        srv.queue.commit_duration(on * (ns.burst_slowdown - 1.0));
+        srv.burst_active = true;
+        co_await eng.delay(on);
+        srv.burst_active = false;
+      }
+    }(*eng_, *servers_[i], noise, horizon));
+  }
+  if (noise.storm_slowdown > 0.0) {
+    // Machine-wide storms: one daemon stalls every server at once.
+    eng_->spawn([](des::Engine& eng, SimFs& fs, cluster::NoiseSpec ns,
+                   SimTime end) -> des::Process {
+      Rng rng = Rng::for_entity(fs.machine_->seed(), 0x53544f524dULL);
+      while (eng.now() < end) {
+        co_await eng.delay(rng.exponential(ns.storm_off_mean));
+        const SimTime on = rng.exponential(ns.storm_on_mean);
+        for (auto& srv : fs.servers_) {
+          srv->queue.commit_duration(on * (ns.storm_slowdown - 1.0));
+        }
+        co_await eng.delay(on);
+      }
+    }(*eng_, *this, noise, horizon));
+  }
+}
+
+des::Task<void> SimFs::metadata_op(int client_core, SimTime cost) {
+  // Metadata requests are tiny; network time is folded into the op cost.
+  switch (spec_.metadata) {
+    case cluster::MetadataModel::kSerializedSingleServer: {
+      const double mult = mds_noise_.storage_multiplier();
+      co_await mds_->occupy(cost, mult);
+      break;
+    }
+    case cluster::MetadataModel::kDistributed:
+    case cluster::MetadataModel::kSharedDisk: {
+      // Hash the client to a server's metadata queue; contention only
+      // among clients mapping to the same server.
+      Server& s = *servers_[static_cast<std::uint64_t>(client_core) %
+                            servers_.size()];
+      const double mult = s.noise.storage_multiplier();
+      co_await s.metadata.occupy(cost, mult);
+      break;
+    }
+  }
+}
+
+des::Task<FileHandle> SimFs::create(int client_core, int stripe_count,
+                                    bool shared) {
+  FileHandle h;
+  h.id = next_file_id_++;
+  h.stripe_count = stripe_count <= 0 ? spec_.default_stripe_count
+                                     : stripe_count;
+  h.stripe_count = std::min(h.stripe_count, num_servers());
+  h.first_server = static_cast<int>(h.id % servers_.size());
+  h.shared = shared;
+  ++stats_.creates;
+
+  SimTime cost = spec_.metadata_create_cost;
+  if (spec_.metadata == cluster::MetadataModel::kSharedDisk) {
+    cost += spec_.lock_acquire_cost;  // directory token traffic
+  }
+  co_await metadata_op(client_core, cost);
+  co_return h;
+}
+
+des::Task<void> SimFs::open(int client_core, FileHandle) {
+  ++stats_.opens;
+  co_await metadata_op(client_core, spec_.metadata_open_cost);
+}
+
+des::Task<void> SimFs::acquire_lock(int server, const FileHandle& file,
+                                    std::uint64_t client) {
+  if (!file.shared ||
+      (spec_.lock_acquire_cost <= 0.0 && spec_.lock_revoke_cost <= 0.0)) {
+    co_return;
+  }
+  Server& s = *servers_[server];
+  SimTime cost = spec_.lock_acquire_cost;
+  const std::uint64_t holder_key = stream_key(file.id, client);
+  if (s.last_lock_holder != holder_key) {
+    // Extent lock moves to a different client: revoke + flush + regrant.
+    if (s.last_lock_holder != ~0ULL) {
+      cost += spec_.lock_revoke_cost;
+      ++stats_.lock_revocations;
+    }
+    s.last_lock_holder = holder_key;
+  }
+  co_await s.lock_manager.occupy(cost);
+}
+
+des::Task<void> SimFs::write(int client_core, FileHandle file,
+                             std::uint64_t offset, Bytes bytes,
+                             WriteOptions opts) {
+  assert(offset % spec_.stripe_size == 0 &&
+         "writes must be stripe-aligned in this model");
+  cluster::Node& node = machine_->node_of_core(client_core);
+  const std::uint64_t stream_id =
+      stream_key(file.id, static_cast<std::uint64_t>(client_core));
+  const Bytes stripe = spec_.stripe_size;
+  const Bytes request =
+      opts.max_request == 0 ? stripe
+                            : std::max<Bytes>(stripe, opts.max_request);
+
+  SimTime last_completion = eng_->now();
+  std::vector<Bytes> per_server(servers_.size(), 0);
+  Bytes sent = 0;
+  while (sent < bytes) {
+    const Bytes req = std::min<Bytes>(request, bytes - sent);
+    const SimTime request_started = eng_->now();
+    // Ship the request: data streams cut-through in stripe-sized frames
+    // through this node's NIC (shared with the other cores of the node)
+    // and the storage network (shared with everyone). Request size does
+    // not change the wire time — it changes the number of *server
+    // operations* below.
+    Bytes placed = 0;
+    while (placed < req) {
+      const std::uint64_t stripe_index = (offset + sent + placed) / stripe;
+      const Bytes chunk = std::min<Bytes>(stripe, req - placed);
+      if (spec_.client_stream_rate > 0.0) {
+        // The client core itself can only format/issue so fast (HDF5
+        // serialization is single-threaded) — a serial floor that caps a
+        // lone writer no matter how idle the servers are.
+        co_await eng_->delay(static_cast<double>(chunk) /
+                             spec_.client_stream_rate);
+      }
+      co_await node.nic().transfer(chunk);
+      co_await machine_->storage_network().transfer(chunk);
+      per_server[server_of(file, stripe_index)] += chunk;
+      placed += chunk;
+    }
+    // Each touched server services the request's bytes as ONE operation:
+    // per-op overhead and stream-switch penalties are paid per request,
+    // which is what makes few large requests cheaper than many small
+    // ones. Server work is committed asynchronously; the client
+    // pipelines the next request while the disks drain.
+    for (std::size_t srv = 0; srv < per_server.size(); ++srv) {
+      if (per_server[srv] == 0) continue;
+      co_await acquire_lock(static_cast<int>(srv), file, client_core);
+      const SimTime done =
+          commit_chunk(static_cast<int>(srv), stream_id, per_server[srv],
+                       request_started, file.shared);
+      last_completion = std::max(last_completion, done);
+      per_server[srv] = 0;
+    }
+    sent += req;
+  }
+  stats_.bytes_written += bytes;
+  co_await eng_->sleep_until(last_completion);
+}
+
+des::Task<void> SimFs::close(int client_core, FileHandle) {
+  co_await metadata_op(client_core, spec_.metadata_open_cost);
+}
+
+}  // namespace dmr::fs

@@ -1,0 +1,139 @@
+// Simulated parallel file system.
+//
+// Models the three behaviours the paper identifies as jitter sources in
+// the storage stack (§I, §II):
+//   - metadata serialization: Lustre-like single MDS turns a
+//     file-per-process create storm into a serial queue;
+//   - per-request costs and stream switching: servers pay a fixed
+//     overhead per request plus a penalty whenever consecutive requests
+//     belong to different write streams (different file/client) — this is
+//     what punishes many small writers and rewards few large ones;
+//   - byte-range/extent locks on shared files: when writers interleave in
+//     one file (collective I/O), the lock travels between clients and its
+//     revocation cost serializes at the lock manager.
+//
+// Cross-application interference (cause 4) multiplies individual service
+// times with heavy-tailed bursts via the per-server NoiseModel.
+//
+// All client operations are awaitable Tasks issued by a core: data
+// traverses the issuing node's NIC (contended by its cores), then the
+// storage network (contended by everyone), then queues at the striped
+// servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/specs.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "des/resources.hpp"
+#include "des/task.hpp"
+
+namespace dmr::fs {
+
+/// A file created in the simulated FS.
+struct FileHandle {
+  std::uint64_t id = 0;
+  int stripe_count = 1;
+  int first_server = 0;
+  bool shared = false;  // written concurrently by many clients
+};
+
+/// Per-write options.
+struct WriteOptions {
+  /// Largest request the client issues at once; 0 means one stripe unit.
+  Bytes max_request = 0;
+};
+
+/// Aggregate counters for reporting.
+struct FsStats {
+  Bytes bytes_written = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t opens = 0;
+  std::uint64_t write_ops = 0;     // striped server requests
+  std::uint64_t stream_switches = 0;
+  std::uint64_t lock_revocations = 0;
+};
+
+class SimFs {
+ public:
+  SimFs(cluster::Machine& machine);
+
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  /// Creates a file from core `client_core`. stripe_count <= 0 uses the
+  /// platform default; it is clamped to the number of servers.
+  des::Task<FileHandle> create(int client_core, int stripe_count = -1,
+                               bool shared = false);
+
+  /// Opens an existing file (metadata round-trip only).
+  des::Task<void> open(int client_core, FileHandle file);
+
+  /// Writes `bytes` at `offset` in `file` from `client_core`. Completes
+  /// when all striped requests have been serviced by the data servers.
+  des::Task<void> write(int client_core, FileHandle file,
+                        std::uint64_t offset, Bytes bytes,
+                        WriteOptions opts = {});
+
+  /// Closes the file (small metadata update).
+  des::Task<void> close(int client_core, FileHandle file);
+
+  const FsStats& stats() const { return stats_; }
+  const cluster::FsSpec& spec() const { return spec_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+
+  /// Cumulative busy time of data server `i` (for utilization reports).
+  SimTime server_busy(int i) const { return servers_[i]->queue.total_busy(); }
+
+  /// Starts the cross-application interference daemons (one per server,
+  /// NoiseSpec burst parameters) until simulated time `horizon`. Call
+  /// once, before the workload's processes are spawned, when the
+  /// platform models a shared machine.
+  void spawn_interference(SimTime horizon);
+
+ private:
+  struct Server {
+    des::ServiceQueue queue;
+    des::ServiceQueue lock_manager;
+    des::ServiceQueue metadata;  // used by distributed metadata models
+    cluster::NoiseModel noise;
+    Rng burst_rng{0};
+    bool burst_active = false;  // a foreign job is hammering this server
+    std::uint64_t last_stream = ~0ULL;  // (file,client) currently streaming
+    std::uint64_t last_lock_holder = ~0ULL;  // per-server extent lock owner
+
+    Server(des::Engine& eng, const cluster::FsSpec& spec,
+           cluster::NoiseModel noise_model);
+  };
+
+  /// Routes a data chunk to its server by stripe index.
+  int server_of(const FileHandle& file, std::uint64_t stripe_index) const;
+
+  /// Commits one striped request on a server; returns its completion
+  /// time. Applies stream-switch and interference penalties. The server
+  /// may have started the op as early as `earliest_start` (streaming
+  /// overlap with the network transfer).
+  SimTime commit_chunk(int server, std::uint64_t stream_id, Bytes bytes,
+                       SimTime earliest_start, bool shared_file);
+
+  /// Lock cost for `client` writing `file` on `server` (0 for unshared).
+  des::Task<void> acquire_lock(int server, const FileHandle& file,
+                               std::uint64_t client);
+
+  des::Task<void> metadata_op(int client_core, SimTime cost);
+
+  cluster::Machine* machine_;
+  cluster::FsSpec spec_;
+  des::Engine* eng_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<des::ServiceQueue> mds_;  // single-MDS models
+  cluster::NoiseModel mds_noise_;
+  std::uint64_t next_file_id_ = 1;
+  FsStats stats_;
+};
+
+}  // namespace dmr::fs

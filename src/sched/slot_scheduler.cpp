@@ -1,0 +1,36 @@
+#include "sched/slot_scheduler.hpp"
+
+#include <cassert>
+
+namespace dmr::sched {
+
+SlotScheduler::SlotScheduler(SimTime estimated_iteration, int num_nodes,
+                             int node_id)
+    : estimate_(estimated_iteration), num_nodes_(num_nodes),
+      node_id_(node_id) {
+  assert(num_nodes > 0);
+  assert(node_id >= 0 && node_id < num_nodes);
+  assert(estimated_iteration > 0);
+}
+
+SimTime SlotScheduler::slot_width() const {
+  return estimate_ / static_cast<SimTime>(num_nodes_);
+}
+
+SimTime SlotScheduler::slot_start() const {
+  return slot_width() * static_cast<SimTime>(node_id_);
+}
+
+SimTime SlotScheduler::wait_time(SimTime elapsed) const {
+  const SimTime start = slot_start();
+  return elapsed >= start ? 0.0 : start - elapsed;
+}
+
+void SlotScheduler::update_estimate(SimTime measured) {
+  constexpr double kAlpha = 0.3;
+  if (measured > 0) {
+    estimate_ = (1.0 - kAlpha) * estimate_ + kAlpha * measured;
+  }
+}
+
+}  // namespace dmr::sched

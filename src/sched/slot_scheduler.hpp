@@ -1,0 +1,51 @@
+// Data-transfer scheduling (paper §IV-D "Data transfer scheduling").
+//
+// "Each dedicated core computes an estimation of the computation time of
+// an iteration from a first run of the simulation. This time is then
+// divided into as many slots as dedicated cores. Each dedicated core
+// then waits for its slot before writing." — no inter-process
+// communication involved; the estimate is purely local.
+//
+// The paper reports 13.1 GB/s instead of 9.7 GB/s on 2304 Kraken cores
+// with this strategy.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace dmr::sched {
+
+class SlotScheduler {
+ public:
+  /// `node_id` in [0, num_nodes); `estimated_iteration` is the expected
+  /// time between two write phases (seconds).
+  SlotScheduler(SimTime estimated_iteration, int num_nodes, int node_id);
+
+  /// Start of this node's slot, as an offset from the beginning of the
+  /// iteration (in [0, estimated_iteration)).
+  SimTime slot_start() const;
+
+  /// Width of one slot.
+  SimTime slot_width() const;
+
+  /// How long a dedicated core that became ready `elapsed` seconds after
+  /// the iteration started must still wait before writing (0 if its slot
+  /// has already begun).
+  SimTime wait_time(SimTime elapsed_since_iteration_start) const;
+
+  /// Refines the iteration estimate from a measured duration
+  /// (exponential moving average, alpha = 0.3).
+  void update_estimate(SimTime measured_iteration);
+
+  SimTime estimated_iteration() const { return estimate_; }
+  int num_nodes() const { return num_nodes_; }
+  int node_id() const { return node_id_; }
+
+ private:
+  SimTime estimate_;
+  int num_nodes_;
+  int node_id_;
+};
+
+}  // namespace dmr::sched

@@ -1,0 +1,54 @@
+#include "shm/event_queue.hpp"
+
+namespace dmr::shm {
+
+void EventQueue::push(const Message& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(msg);
+    ++pushed_;
+  }
+  cv_.notify_one();
+}
+
+std::optional<Message> EventQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Message m = queue_.front();
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> EventQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = queue_.front();
+  queue_.pop_front();
+  return m;
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t EventQueue::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+}  // namespace dmr::shm

@@ -1,0 +1,74 @@
+// Event queue between clients and the dedicated core (paper §III-B
+// "Event queue").
+//
+// Clients push write-notifications and user-defined events; the server's
+// event processing engine (EPE) pops them. Multi-producer (all compute
+// cores), single-consumer (the dedicated core). Bounded-less: the queue
+// holds small descriptors only — bulk data lives in the SharedBuffer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::shm {
+
+enum class MessageType {
+  kWriteNotification,  // a variable block is ready in shared memory
+  kUserEvent,          // df_signal: trigger a configured action
+  kClientFinalize,     // a client is done; server exits when all are
+};
+
+/// Descriptor passed through the queue. `name_id` indexes into the
+/// metadata system (variable or event name); the payload, if any, lives
+/// in the shared buffer at `block`.
+struct Message {
+  MessageType type = MessageType::kUserEvent;
+  int client_id = -1;     // "source" in the paper's tuple
+  std::int64_t iteration = 0;
+  std::uint32_t name_id = 0;
+  Block block;            // valid for kWriteNotification
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues a message (never blocks).
+  void push(const Message& msg);
+
+  /// Pops the oldest message, blocking until one is available or
+  /// `close()` is called. Returns nullopt only after close() with an
+  /// empty queue.
+  std::optional<Message> pop();
+
+  /// Non-blocking pop.
+  std::optional<Message> try_pop();
+
+  /// Wakes all poppers; pop() drains remaining messages, then returns
+  /// nullopt.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+
+  /// Total messages ever pushed (for stats).
+  std::uint64_t pushed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace dmr::shm

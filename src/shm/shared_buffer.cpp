@@ -1,0 +1,130 @@
+#include "shm/shared_buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dmr::shm {
+
+SharedBuffer::SharedBuffer(Bytes capacity, AllocPolicy policy,
+                           int num_clients)
+    : capacity_(capacity),
+      policy_(policy),
+      num_clients_(num_clients),
+      memory_(new std::byte[capacity]) {
+  assert(num_clients > 0);
+  if (policy_ == AllocPolicy::kMutexFirstFit) {
+    free_by_offset_.emplace(0, capacity_);
+  } else {
+    const Bytes slice = capacity_ / static_cast<Bytes>(num_clients_);
+    partitions_.reserve(num_clients_);
+    for (int c = 0; c < num_clients_; ++c) {
+      auto p = std::make_unique<Partition>();
+      p->base = slice * static_cast<Bytes>(c);
+      p->length = slice;
+      partitions_.push_back(std::move(p));
+    }
+  }
+}
+
+SharedBuffer::~SharedBuffer() = default;
+
+void SharedBuffer::account_alloc(Bytes size) {
+  const Bytes now = used_.fetch_add(size, std::memory_order_relaxed) + size;
+  Bytes peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void SharedBuffer::account_free(Bytes size) {
+  used_.fetch_sub(size, std::memory_order_relaxed);
+}
+
+Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {
+  if (size == 0) {
+    return invalid_argument("zero-size allocation");
+  }
+  if (client_id < 0 || client_id >= num_clients_) {
+    return invalid_argument("client_id out of range");
+  }
+  return policy_ == AllocPolicy::kMutexFirstFit
+             ? allocate_first_fit(size, client_id)
+             : allocate_partitioned(size, client_id);
+}
+
+void SharedBuffer::deallocate(const Block& block) {
+  if (!block.valid()) return;
+  if (policy_ == AllocPolicy::kMutexFirstFit) {
+    deallocate_first_fit(block);
+  } else {
+    deallocate_partitioned(block);
+  }
+}
+
+Result<Block> SharedBuffer::allocate_first_fit(Bytes size, int client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
+    if (it->second < size) continue;
+    Block b{it->first, size, client_id};
+    const Bytes remaining = it->second - size;
+    const Bytes new_offset = it->first + size;
+    free_by_offset_.erase(it);
+    if (remaining > 0) free_by_offset_.emplace(new_offset, remaining);
+    account_alloc(size);
+    return b;
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  return out_of_memory("no free region of " + std::to_string(size) +
+                       " bytes");
+}
+
+void SharedBuffer::deallocate_first_fit(const Block& block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bytes offset = block.offset;
+  Bytes length = block.size;
+  // Coalesce with the next free range.
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.end() && offset + length == next->first) {
+    length += next->second;
+    next = free_by_offset_.erase(next);
+  }
+  // Coalesce with the previous free range.
+  if (next != free_by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += length;
+      account_free(block.size);
+      return;
+    }
+  }
+  free_by_offset_.emplace(offset, length);
+  account_free(block.size);
+}
+
+Result<Block> SharedBuffer::allocate_partitioned(Bytes size, int client_id) {
+  Partition& p = *partitions_[client_id];
+  // Only this client bumps this partition's head, so plain loads suffice
+  // for the decision; the server only ever decrements `live`.
+  if (p.live.load(std::memory_order_acquire) == 0) {
+    // Everything previously handed to the server was consumed: rewind.
+    p.head.store(0, std::memory_order_relaxed);
+  }
+  const Bytes h = p.head.load(std::memory_order_relaxed);
+  if (h + size > p.length) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return out_of_memory("partition of client " + std::to_string(client_id) +
+                         " full");
+  }
+  p.head.store(h + size, std::memory_order_relaxed);
+  p.live.fetch_add(size, std::memory_order_release);
+  account_alloc(size);
+  return Block{p.base + h, size, client_id};
+}
+
+void SharedBuffer::deallocate_partitioned(const Block& block) {
+  Partition& p = *partitions_[block.client_id];
+  p.live.fetch_sub(block.size, std::memory_order_release);
+  account_free(block.size);
+}
+
+}  // namespace dmr::shm

@@ -1,0 +1,115 @@
+// Shared memory buffer between compute cores (clients) and the dedicated
+// I/O core (server) of one node — the heart of the Damaris design (§III-B
+// "Shared-memory").
+//
+// The paper describes two reservation algorithms, both implemented here:
+//  - kMutexFirstFit: a general-purpose mutex-protected first-fit free
+//    list (the "default mutex-based allocation algorithm of the Boost
+//    library" in the original);
+//  - kPartitioned: a lock-free scheme for the common case where all
+//    clients write the same amount of data per iteration — the buffer is
+//    split into as many regions as clients and each client bump-allocates
+//    within its own region with no synchronization at all.
+//
+// In the original, this segment is OS shared memory between processes of
+// one node; here clients and server are threads of one process, so the
+// segment is ordinary heap memory with the same allocation discipline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace dmr::shm {
+
+/// A reserved region of the shared buffer. Valid until freed.
+struct Block {
+  Bytes offset = 0;
+  Bytes size = 0;
+  int client_id = -1;
+
+  bool valid() const { return size > 0; }
+};
+
+enum class AllocPolicy {
+  kMutexFirstFit,
+  kPartitioned,
+};
+
+class SharedBuffer {
+ public:
+  /// `num_clients` is required by the partitioned policy (ignored by the
+  /// mutex policy, but kept for accounting either way).
+  SharedBuffer(Bytes capacity, AllocPolicy policy, int num_clients);
+  ~SharedBuffer();
+
+  SharedBuffer(const SharedBuffer&) = delete;
+  SharedBuffer& operator=(const SharedBuffer&) = delete;
+
+  /// Reserves `size` bytes for `client_id`. Fails with kOutOfMemory when
+  /// no suitable region exists (the caller decides whether to block,
+  /// spill or drop — Damaris's server frees blocks as it consumes them).
+  Result<Block> allocate(Bytes size, int client_id);
+
+  /// Returns a block to the buffer. Safe to call from any thread.
+  void deallocate(const Block& block);
+
+  /// Pointer to the block's memory.
+  std::byte* data(const Block& block) {
+    return memory_.get() + block.offset;
+  }
+  const std::byte* data(const Block& block) const {
+    return memory_.get() + block.offset;
+  }
+
+  Bytes capacity() const { return capacity_; }
+  AllocPolicy policy() const { return policy_; }
+  int num_clients() const { return num_clients_; }
+
+  /// Bytes currently reserved.
+  Bytes used() const { return used_.load(std::memory_order_relaxed); }
+  /// High-water mark of `used()`.
+  Bytes peak_used() const { return peak_.load(std::memory_order_relaxed); }
+  /// Number of allocations that failed for lack of space.
+  std::uint64_t failed_allocations() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Result<Block> allocate_first_fit(Bytes size, int client_id);
+  Result<Block> allocate_partitioned(Bytes size, int client_id);
+  void deallocate_first_fit(const Block& block);
+  void deallocate_partitioned(const Block& block);
+  void account_alloc(Bytes size);
+  void account_free(Bytes size);
+
+  const Bytes capacity_;
+  const AllocPolicy policy_;
+  const int num_clients_;
+  std::unique_ptr<std::byte[]> memory_;
+
+  std::atomic<Bytes> used_{0};
+  std::atomic<Bytes> peak_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  // --- first-fit state (mutex-protected) ---
+  std::mutex mutex_;
+  std::map<Bytes, Bytes> free_by_offset_;  // offset -> length
+
+  // --- partitioned state (lock-free per client) ---
+  struct alignas(64) Partition {
+    std::atomic<Bytes> head{0};   // bump pointer within [base, base+len)
+    std::atomic<Bytes> live{0};   // bytes currently allocated
+    Bytes base = 0;
+    Bytes length = 0;
+  };
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace dmr::shm

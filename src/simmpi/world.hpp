@@ -1,0 +1,91 @@
+// MPI-like communication layer for simulated ranks.
+//
+// Ranks are DES coroutines mapped node-major onto machine cores (rank r
+// runs on core r, node r / cores_per_node). Message payloads are not
+// materialized — primitives model *time*: NIC contention on both sides,
+// fabric traversal and synchronization. This is all the I/O strategies
+// need; real data movement is exercised by the threaded middleware
+// (src/core) instead.
+//
+// Collective semantics follow MPI: every rank of the world must call the
+// same sequence of collective operations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/sync.hpp"
+#include "des/task.hpp"
+
+namespace dmr::simmpi {
+
+class World {
+ public:
+  /// Creates a world of `num_ranks` ranks on the first
+  /// num_ranks/cores_per_node nodes of `machine`. `ranks_per_node` lets a
+  /// world use fewer cores per node than the hardware has (Damaris mode:
+  /// 11 compute ranks on a 12-core node).
+  World(cluster::Machine& machine, int num_ranks, int ranks_per_node = 0);
+
+  int size() const { return num_ranks_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+  int num_nodes_used() const;
+
+  int node_of(int rank) const { return rank / ranks_per_node_; }
+  /// Global core index a rank runs on (node-major, dense from core 0 of
+  /// its node).
+  int core_of(int rank) const {
+    const int node = node_of(rank);
+    return node * machine_->cores_per_node() + rank % ranks_per_node_;
+  }
+  bool is_node_leader(int rank) const { return rank % ranks_per_node_ == 0; }
+
+  cluster::Machine& machine() { return *machine_; }
+  cluster::Node& node_of_rank(int rank) {
+    return machine_->node(node_of(rank));
+  }
+
+  /// Synchronizes all ranks; everyone resumes once the last rank arrives,
+  /// plus a log2(P) dissemination latency.
+  des::Task<void> barrier();
+
+  /// Point-to-point transfer cost of `bytes` from `from` to `to`
+  /// (intra-node goes through the shared-memory bus, inter-node through
+  /// both NICs and the fabric).
+  des::Task<void> send(int from, int to, Bytes bytes);
+
+  /// Tree broadcast of `bytes` from rank 0 — time model, called by every
+  /// rank.
+  des::Task<void> bcast(int rank, Bytes bytes);
+
+  /// Gather of `bytes` per rank to the root — time model.
+  des::Task<void> gather(int rank, int root, Bytes bytes_per_rank);
+
+  /// Dense all-to-all where each rank ships `bytes_out` in total; models
+  /// NIC injection + congested fabric traversal and synchronizes like a
+  /// barrier (the exchange completes collectively).
+  des::Task<void> alltoall(int rank, Bytes bytes_out);
+
+  /// Max-reduction over one double per rank; all ranks receive the max.
+  des::Task<double> allreduce_max(double value);
+
+ private:
+  cluster::Machine* machine_;
+  int num_ranks_;
+  int ranks_per_node_;
+  std::unique_ptr<des::Barrier> barrier_;
+
+  // allreduce_max state (generation-managed like a cyclic barrier).
+  double acc_ = std::numeric_limits<double>::lowest();
+  double result_ = 0.0;
+  double my_value_pending_ = 0.0;
+  std::size_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> reduce_waiters_;
+
+  friend struct ReduceAwaiter;
+};
+
+}  // namespace dmr::simmpi

@@ -1,0 +1,405 @@
+#include "strategies/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "des/channel.hpp"
+#include "des/sync.hpp"
+#include "des/engine.hpp"
+#include "des/process.hpp"
+#include "des/task.hpp"
+#include "sched/slot_scheduler.hpp"
+#include "simmpi/world.hpp"
+
+namespace dmr::strategies {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFilePerProcess: return "file-per-process";
+    case StrategyKind::kCollectiveIo: return "collective-io";
+    case StrategyKind::kDamaris: return "damaris";
+    case StrategyKind::kNoIo: return "no-io";
+  }
+  return "?";
+}
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kSharedMemory: return "shared-memory";
+    case Transport::kFuse: return "fuse";
+    case Transport::kDedicatedNodes: return "dedicated-nodes";
+  }
+  return "?";
+}
+
+double scalability_factor(int cores, double t_n, double c_base) {
+  if (t_n <= 0) return 0.0;
+  return static_cast<double>(cores) * c_base / t_n;
+}
+
+namespace {
+
+/// Notification a compute core drops in its writer's event queue after
+/// the data has been staged (shared memory, FUSE, or remote buffer).
+struct PhaseMsg {
+  int phase = 0;
+  Bytes bytes = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const RunConfig& cfg)
+      : cfg_(cfg),
+        is_damaris_(cfg.kind == StrategyKind::kDamaris),
+        transport_(cfg.damaris.transport),
+        ded_k_(is_damaris_ && transport_ != Transport::kDedicatedNodes
+                   ? cfg.damaris.dedicated_cores_per_node
+                   : 0),
+        staging_nodes_(is_damaris_ &&
+                               transport_ == Transport::kDedicatedNodes
+                           ? (cfg.num_nodes +
+                              cfg.damaris.compute_nodes_per_staging - 1) /
+                                 cfg.damaris.compute_nodes_per_staging
+                           : 0),
+        machine_(eng_, cfg.platform, cfg.num_nodes + staging_nodes_,
+                 cfg.seed),
+        fs_(machine_),
+        ranks_per_node_(cfg.platform.node.cores - ded_k_),
+        world_(machine_, cfg.num_nodes * ranks_per_node_, ranks_per_node_),
+        bytes_per_rank_(cfg.workload.output_bytes_per_rank()),
+        num_phases_(cfg.iterations / cfg.workload.write_interval),
+        interval_seconds_(cfg.workload.write_interval *
+                          cfg.workload.seconds_per_iteration) {
+    assert(!is_damaris_ || transport_ == Transport::kDedicatedNodes ||
+           (ded_k_ >= 1 && ded_k_ < cfg.platform.node.cores));
+    if (cfg_.kind == StrategyKind::kCollectiveIo) {
+      collective_ = std::make_unique<simmpi::CollectiveWriter>(
+          world_, fs_, cfg_.collective);
+    }
+    if (is_damaris_) {
+      for (int w = 0; w < num_writers(); ++w) {
+        channels_.push_back(std::make_unique<des::Channel<PhaseMsg>>(eng_));
+      }
+      if (cfg_.damaris.coordinated_scheduling) {
+        write_tokens_ = std::make_unique<des::Semaphore>(
+            eng_, std::max(1, cfg_.damaris.coordination_tokens));
+      }
+    }
+    rank_finish_.assign(world_.size(), 0.0);
+  }
+
+  RunResult run() {
+    // Cross-application interference lives for the whole run (generous
+    // horizon: compute plus however long the I/O tail may stretch).
+    fs_.spawn_interference(cfg_.iterations *
+                               cfg_.workload.seconds_per_iteration * 3.0 +
+                           3600.0);
+    for (int r = 0; r < world_.size(); ++r) {
+      eng_.spawn(compute_rank(r));
+    }
+    if (is_damaris_) {
+      for (int w = 0; w < num_writers(); ++w) {
+        eng_.spawn(dedicated_writer(w));
+      }
+    }
+    eng_.run();
+    return collect();
+  }
+
+ private:
+  // --------------------------------------------------- writer topology
+
+  int num_writers() const {
+    return transport_ == Transport::kDedicatedNodes
+               ? staging_nodes_
+               : cfg_.num_nodes * std::max(ded_k_, 1);
+  }
+
+  /// Writer a compute rank reports to.
+  int writer_of_rank(int rank) const {
+    const int node = world_.node_of(rank);
+    if (transport_ == Transport::kDedicatedNodes) {
+      return node / cfg_.damaris.compute_nodes_per_staging;
+    }
+    const int local = rank % ranks_per_node_;
+    return node * ded_k_ + local % ded_k_;
+  }
+
+  /// Machine node a writer runs on.
+  int writer_node(int writer) const {
+    if (transport_ == Transport::kDedicatedNodes) {
+      return cfg_.num_nodes + writer;  // a staging node
+    }
+    return writer / ded_k_;
+  }
+
+  /// Global core index a writer occupies.
+  int writer_core(int writer) const {
+    const int cores = cfg_.platform.node.cores;
+    if (transport_ == Transport::kDedicatedNodes) {
+      return writer_node(writer) * cores;  // core 0 of the staging node
+    }
+    return writer_node(writer) * cores + cores - 1 - writer % ded_k_;
+  }
+
+  /// How many client messages a writer receives per phase.
+  int writer_clients(int writer) const {
+    if (transport_ == Transport::kDedicatedNodes) {
+      const int fan = cfg_.damaris.compute_nodes_per_staging;
+      const int first = writer * fan;
+      const int count = std::min(fan, cfg_.num_nodes - first);
+      return count * ranks_per_node_;
+    }
+    const int k = writer % ded_k_;
+    int n = 0;
+    for (int local = 0; local < ranks_per_node_; ++local) {
+      if (local % ded_k_ == k) ++n;
+    }
+    return n;
+  }
+
+  // ------------------------------------------------------------ results
+
+  RunResult collect() {
+    RunResult res;
+    res.kind = cfg_.kind;
+    res.total_cores =
+        (cfg_.num_nodes + staging_nodes_) * cfg_.platform.node.cores;
+    res.compute_ranks = world_.size();
+    res.nodes = cfg_.num_nodes;
+    res.staging_nodes = staging_nodes_;
+    res.phases = num_phases_;
+    res.rank_write_seconds = rank_write_;
+    res.phase_seconds = phase_seconds_;
+    res.dedicated_write_seconds = dedicated_write_;
+    res.bytes_per_phase = bytes_per_rank_ * world_.size();
+    res.stored_bytes_per_phase =
+        num_phases_ > 0 && is_damaris_ ? stored_bytes_total_ / num_phases_
+                                       : res.bytes_per_phase;
+    for (SimTime t : rank_finish_) {
+      res.total_runtime = std::max(res.total_runtime, t);
+    }
+    if (is_damaris_) {
+      const double denom = static_cast<double>(num_writers()) *
+                           num_phases_ * interval_seconds_;
+      // When writes outlast the iteration interval the dedicated cores
+      // have no spare time at all (they fall behind); clamp at zero.
+      res.dedicated_spare_fraction =
+          denom > 0 ? std::max(0.0, 1.0 - dedicated_busy_total_ / denom)
+                    : 0.0;
+      if (dedicated_write_.count() > 0) {
+        res.aggregate_throughput =
+            static_cast<double>(res.bytes_per_phase) /
+            dedicated_write_.mean();
+      }
+    } else if (phase_seconds_.count() > 0) {
+      // Synchronous strategies: the phase ends when the data is on disk,
+      // so the phase duration is the effective transfer window.
+      res.aggregate_throughput =
+          static_cast<double>(res.bytes_per_phase) / phase_seconds_.mean();
+    }
+    res.fs_stats = fs_.stats();
+    return res;
+  }
+
+  bool is_write_iteration(int it) const {
+    return cfg_.kind != StrategyKind::kNoIo &&
+           (it % cfg_.workload.write_interval) == 0;
+  }
+
+  // ------------------------------------------------------ compute ranks
+
+  des::Process compute_rank(int rank) {
+    cluster::Node& node = world_.node_of_rank(rank);
+    int phase_index = 0;
+    for (int it = 1; it <= cfg_.iterations; ++it) {
+      // Computation, perturbed by this node's OS noise, then the halo
+      // synchronization that aligns all ranks (paper: "often due to
+      // explicit barriers or communication phases, all processes perform
+      // I/O at the same time").
+      co_await eng_.delay(
+          node.noise().compute_time(cfg_.workload.seconds_per_iteration));
+      co_await world_.barrier();
+      if (!is_write_iteration(it)) continue;
+
+      const SimTime phase_start = eng_.now();
+      switch (cfg_.kind) {
+        case StrategyKind::kFilePerProcess: {
+          co_await fpp_write(rank);
+          rank_write_.add(eng_.now() - phase_start);
+          co_await world_.barrier();  // phase delimited by barriers
+          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
+          break;
+        }
+        case StrategyKind::kCollectiveIo: {
+          co_await collective_->collective_write(rank, bytes_per_rank_);
+          rank_write_.add(eng_.now() - phase_start);
+          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
+          break;
+        }
+        case StrategyKind::kDamaris: {
+          co_await stage_data(rank, node);
+          channels_[writer_of_rank(rank)]->send(
+              PhaseMsg{phase_index, bytes_per_rank_});
+          rank_write_.add(eng_.now() - phase_start);
+          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
+          break;
+        }
+        case StrategyKind::kNoIo:
+          break;
+      }
+      ++phase_index;
+    }
+    rank_finish_[rank] = eng_.now();
+  }
+
+  /// Moves one rank's output to where its writer can see it. This is
+  /// the step whose cost the application perceives as "the write".
+  des::Task<void> stage_data(int rank, cluster::Node& node) {
+    switch (transport_) {
+      case Transport::kSharedMemory: {
+        // One copy into the node's shared buffer, contended only with
+        // the other cores of this node; the copy itself jitters with
+        // memory-bus traffic (the paper's ~0.1 s on the 0.2 s write).
+        co_await node.shm_bus().transfer(bytes_per_rank_);
+        const SimTime jitter = node.noise().copy_jitter();
+        if (jitter > 0) co_await eng_.delay(jitter);
+        break;
+      }
+      case Transport::kFuse: {
+        // The same handoff through a user-space file system: every byte
+        // crosses the kernel, ~10x the bus traffic (§V-B).
+        co_await node.shm_bus().transfer(static_cast<Bytes>(
+            static_cast<double>(bytes_per_rank_) *
+            cfg_.damaris.fuse_slowdown));
+        const SimTime jitter = node.noise().copy_jitter();
+        if (jitter > 0) co_await eng_.delay(jitter);
+        break;
+      }
+      case Transport::kDedicatedNodes: {
+        // Off-node staging: out through this node's NIC (contended by
+        // the sibling ranks), across the fabric, into the staging
+        // node's NIC (contended by every rank of the staging group).
+        cluster::Node& staging =
+            machine_.node(writer_node(writer_of_rank(rank)));
+        co_await node.nic().transfer(bytes_per_rank_);
+        co_await machine_.fabric().transfer(bytes_per_rank_);
+        co_await staging.nic().transfer(bytes_per_rank_);
+        break;
+      }
+    }
+  }
+
+  des::Task<void> fpp_write(int rank) {
+    const int core = world_.core_of(rank);
+    Bytes disk_bytes = bytes_per_rank_;
+    if (cfg_.fpp_compression) {
+      // HDF5's gzip filter runs on the compute core, inside the write
+      // phase the application is waiting on.
+      co_await eng_.delay(static_cast<double>(bytes_per_rank_) /
+                          cfg_.fpp_compression_rate);
+      disk_bytes = static_cast<Bytes>(static_cast<double>(bytes_per_rank_) /
+                                      cfg_.fpp_compression_ratio);
+    }
+    // One small file per process: single stripe, HDF5-chunk-sized
+    // requests.
+    fs::FileHandle h = co_await fs_.create(core, /*stripe_count=*/1);
+    fs::WriteOptions opts;
+    opts.max_request = cfg_.fpp_request;
+    co_await fs_.write(core, h, 0, disk_bytes, opts);
+    co_await fs_.close(core, h);
+  }
+
+  // -------------------------------------------------- dedicated writers
+
+  des::Process dedicated_writer(int writer) {
+    const int core = writer_core(writer);
+    const int clients = writer_clients(writer);
+    sched::SlotScheduler scheduler(
+        interval_seconds_ > 0 ? interval_seconds_ : 1.0, num_writers(),
+        writer);
+    const DamarisOptions& d = cfg_.damaris;
+    for (int phase = 0; phase < num_phases_; ++phase) {
+      Bytes total = 0;
+      for (int c = 0; c < clients; ++c) {
+        const PhaseMsg msg = co_await channels_[writer]->recv();
+        total += msg.bytes;
+      }
+      // §IV-D slot scheduling: wait for this writer's slot within the
+      // estimated iteration interval before touching the file system.
+      if (d.slot_scheduling) {
+        co_await eng_.delay(scheduler.slot_start());
+      }
+      // §VI coordinated scheduling: bound the number of concurrent
+      // writers with a circulating token set.
+      if (write_tokens_) {
+        co_await write_tokens_->acquire();
+      }
+      double busy = 0.0;
+      Bytes disk_bytes = total;
+      if (d.compression || d.precision16) {
+        const double ratio =
+            d.precision16 ? d.precision16_ratio : d.compression_ratio;
+        const double rate =
+            d.precision16 ? d.precision16_rate : d.compression_rate;
+        const double cpu = static_cast<double>(total) / rate;
+        co_await eng_.delay(cpu);
+        busy += cpu;
+        disk_bytes = static_cast<Bytes>(static_cast<double>(total) / ratio);
+      }
+      const SimTime t0 = eng_.now();
+      fs::FileHandle h = co_await fs_.create(core, d.file_stripe_count);
+      fs::WriteOptions opts;
+      opts.max_request = d.write_request;
+      co_await fs_.write(core, h, 0, disk_bytes, opts);
+      co_await fs_.close(core, h);
+      const SimTime wdur = eng_.now() - t0;
+      if (write_tokens_) {
+        write_tokens_->release();
+      }
+      busy += wdur;
+      dedicated_write_.add(wdur);
+      dedicated_busy_total_ += busy;
+      stored_bytes_total_ += disk_bytes;
+    }
+  }
+
+  RunConfig cfg_;
+  des::Engine eng_;
+  bool is_damaris_;
+  Transport transport_;
+  int ded_k_;          // dedicated cores per compute node (0 for staging)
+  int staging_nodes_;  // extra nodes for Transport::kDedicatedNodes
+  cluster::Machine machine_;
+  fs::SimFs fs_;
+  int ranks_per_node_;
+  simmpi::World world_;
+  Bytes bytes_per_rank_;
+  int num_phases_;
+  SimTime interval_seconds_;
+
+  std::unique_ptr<simmpi::CollectiveWriter> collective_;
+  std::vector<std::unique_ptr<des::Channel<PhaseMsg>>> channels_;
+  std::unique_ptr<des::Semaphore> write_tokens_;
+
+  Sample rank_write_;
+  Sample phase_seconds_;
+  Sample dedicated_write_;
+  std::vector<SimTime> rank_finish_;
+  double dedicated_busy_total_ = 0.0;
+  Bytes stored_bytes_total_ = 0;
+};
+
+}  // namespace
+
+RunResult run_strategy(const RunConfig& cfg) {
+  assert(cfg.num_nodes >= 1);
+  assert(cfg.iterations >= 1);
+  Experiment exp(cfg);
+  return exp.run();
+}
+
+}  // namespace dmr::strategies

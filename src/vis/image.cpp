@@ -1,0 +1,65 @@
+#include "vis/image.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace dmr::vis {
+
+Status Image::write_ppm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return io_error("cannot create " + path);
+  std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+  const bool ok = std::fwrite(pixels_.data(), sizeof(Rgb), pixels_.size(),
+                              f) == pixels_.size();
+  std::fclose(f);
+  if (!ok) return io_error("short write to " + path);
+  return Status::ok();
+}
+
+Result<Image> Image::read_ppm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return io_error("cannot open " + path);
+  int w = 0, h = 0, maxval = 0;
+  if (std::fscanf(f, "P6 %d %d %d", &w, &h, &maxval) != 3 || w <= 0 ||
+      h <= 0 || maxval != 255) {
+    std::fclose(f);
+    return corrupt_data(path + ": not an 8-bit P6 PPM");
+  }
+  std::fgetc(f);  // the single whitespace after the header
+  Image img(w, h);
+  const std::size_t n = static_cast<std::size_t>(w) * h;
+  const bool ok = std::fread(img.pixels_.data(), sizeof(Rgb), n, f) == n;
+  std::fclose(f);
+  if (!ok) return corrupt_data(path + ": truncated pixel data");
+  return img;
+}
+
+Rgb colormap(double t) {
+  // Anchors sampled from viridis.
+  static constexpr std::array<Rgb, 6> kAnchors = {{
+      {68, 1, 84},     // deep purple
+      {59, 82, 139},   // blue
+      {33, 145, 140},  // teal
+      {94, 201, 98},   // green
+      {253, 231, 37},  // yellow
+      {253, 231, 37},  // (repeated to simplify the upper edge)
+  }};
+  t = std::clamp(t, 0.0, 1.0);
+  const double x = t * (kAnchors.size() - 2);
+  const std::size_t i = static_cast<std::size_t>(x);
+  const double frac = x - static_cast<double>(i);
+  const Rgb& a = kAnchors[i];
+  const Rgb& b = kAnchors[i + 1];
+  auto lerp = [frac](std::uint8_t u, std::uint8_t v) {
+    return static_cast<std::uint8_t>(u + frac * (v - u) + 0.5);
+  };
+  return {lerp(a.r, b.r), lerp(a.g, b.g), lerp(a.b, b.b)};
+}
+
+Rgb colorize(float value, float lo, float hi) {
+  if (!(hi > lo)) return colormap(0.5);
+  return colormap((static_cast<double>(value) - lo) / (hi - lo));
+}
+
+}  // namespace dmr::vis

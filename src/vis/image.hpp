@@ -1,0 +1,55 @@
+// Tiny RGB image + PPM output for the in-situ visualization bridge
+// (paper §VI future work: inline visualization through the I/O cores,
+// without blocking the simulation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dmr::vis {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  bool operator==(const Rgb&) const = default;
+};
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Rgb fill = {0, 0, 0})
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const Rgb& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Writes binary PPM (P6).
+  Status write_ppm(const std::string& path) const;
+
+  /// Reads a P6 PPM back (for tests and tooling).
+  static Result<Image> read_ppm(const std::string& path);
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+/// Perceptually ordered blue→green→yellow colormap (viridis-like,
+/// piecewise-linear over a small anchor table). `t` is clamped to [0,1].
+Rgb colormap(double t);
+
+/// Maps `value` into [0,1] over [lo, hi] and colors it; degenerate
+/// ranges map to the midpoint color.
+Rgb colorize(float value, float lo, float hi);
+
+}  // namespace dmr::vis

@@ -1,0 +1,52 @@
+// In-situ rendering on the dedicated core (paper §VI: "a tight coupling
+// between running simulations and visualization engines, enabling direct
+// access to data by visualization engines (through the I/O cores) while
+// the simulation is running").
+//
+// render_slice() turns one horizontal (k = const) slice of a 3-D float32
+// field into a colormapped image. register_render_action() wires it into
+// a DamarisNode as a plugin: on each signalled event the dedicated core
+// reads the iteration's blocks *in place* in shared memory (zero copy),
+// mosaics the px × py subdomains and writes a PPM frame — the simulation
+// never blocks on any of it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/damaris.hpp"
+#include "vis/image.hpp"
+
+namespace dmr::vis {
+
+/// Renders the k-th z-slice of one subdomain block (k-fastest layout,
+/// dims {lx, ly, lz}) into `img` at offset (x0, y0), colorized over
+/// [lo, hi].
+void blit_slice(Image& img, int x0, int y0, std::span<const float> block,
+                int lx, int ly, int lz, int k, float lo, float hi);
+
+/// Renders a full standalone slice of a contiguous (nx, ny, nz) field.
+Image render_slice(std::span<const float> field, int nx, int ny, int nz,
+                   int k, float lo, float hi);
+
+struct RenderOptions {
+  std::string variable;       // float32 variable to render
+  std::string output_dir;     // frames land here as <variable>_it<N>.ppm
+  int px = 1, py = 1;         // process grid (source = cy*px + cx)
+  int k_slice = 0;            // z-level to render
+  /// Fixed color range; if lo >= hi the range auto-scales per frame.
+  float lo = 0.0f, hi = 0.0f;
+};
+
+/// Registers action `action_name` on `node`: each time it fires, the
+/// dedicated core renders the signalled iteration's blocks of
+/// `opts.variable` into a PPM frame and publishes
+/// "<variable>.frames" in the node analytics. Bind it to an event in
+/// the XML configuration (<event name=... action=.../>).
+void register_render_action(core::DamarisNode& node,
+                            const std::string& action_name,
+                            RenderOptions opts);
+
+}  // namespace dmr::vis

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "cluster/noise.hpp"
+#include "cluster/presets.hpp"
+#include "common/stats.hpp"
+#include "des/process.hpp"
+
+namespace dmr::cluster {
+namespace {
+
+TEST(Presets, KrakenShape) {
+  PlatformSpec p = kraken();
+  EXPECT_EQ(p.name, "kraken");
+  EXPECT_EQ(p.node.cores, 12);
+  EXPECT_EQ(p.fs.metadata, MetadataModel::kSerializedSingleServer);
+  EXPECT_EQ(p.fs.stripe_size, 1 * MiB);
+  EXPECT_GT(p.fs.data_servers, 1);
+}
+
+TEST(Presets, Grid5000Shape) {
+  PlatformSpec p = grid5000();
+  EXPECT_EQ(p.node.cores, 24);
+  EXPECT_EQ(p.fs.data_servers, 15);
+  EXPECT_EQ(p.fs.metadata, MetadataModel::kDistributed);
+  EXPECT_EQ(p.fs.lock_revoke_cost, 0.0);  // PVFS: no byte-range locks
+}
+
+TEST(Presets, BlueprintShape) {
+  PlatformSpec p = blueprint();
+  EXPECT_EQ(p.node.cores, 16);
+  EXPECT_EQ(p.fs.data_servers, 2);
+  EXPECT_EQ(p.fs.metadata, MetadataModel::kSharedDisk);
+}
+
+TEST(Machine, LayoutAndLookup) {
+  des::Engine eng;
+  Machine m(eng, kraken(), 4, /*seed=*/1);
+  EXPECT_EQ(m.num_nodes(), 4);
+  EXPECT_EQ(m.cores_per_node(), 12);
+  EXPECT_EQ(m.total_cores(), 48);
+  EXPECT_EQ(m.node(2).id(), 2);
+  EXPECT_EQ(m.node_of_core(0).id(), 0);
+  EXPECT_EQ(m.node_of_core(11).id(), 0);
+  EXPECT_EQ(m.node_of_core(12).id(), 1);
+  EXPECT_EQ(m.node_of_core(47).id(), 3);
+}
+
+TEST(Machine, NodesHaveIndependentNics) {
+  des::Engine eng;
+  Machine m(eng, kraken(), 2, 1);
+  double done0 = -1, done1 = -1;
+  const Bytes sz = 16 * MiB;
+  eng.spawn([](des::Engine& e, Machine& mach, double& out,
+               Bytes n) -> des::Process {
+    co_await mach.node(0).nic().transfer(n);
+    out = e.now();
+  }(eng, m, done0, sz));
+  eng.spawn([](des::Engine& e, Machine& mach, double& out,
+               Bytes n) -> des::Process {
+    co_await mach.node(1).nic().transfer(n);
+    out = e.now();
+  }(eng, m, done1, sz));
+  eng.run();
+  // Different nodes: no contention, identical completion times.
+  EXPECT_DOUBLE_EQ(done0, done1);
+}
+
+TEST(Machine, NicContentionWithinNode) {
+  des::Engine eng;
+  Machine m(eng, kraken(), 1, 1);
+  const Bytes sz = 16 * MiB;
+  double alone = -1;
+  {
+    des::Engine e2;
+    Machine m2(e2, kraken(), 1, 1);
+    e2.spawn([](des::Engine& e, Machine& mach, double& out,
+                Bytes n) -> des::Process {
+      co_await mach.node(0).nic().transfer(n);
+      out = e.now();
+    }(e2, m2, alone, sz));
+    e2.run();
+  }
+  std::vector<double> done(12, -1);
+  for (int c = 0; c < 12; ++c) {
+    eng.spawn([](des::Engine& e, Machine& mach, std::vector<double>& out,
+                 int core, Bytes n) -> des::Process {
+      co_await mach.node(0).nic().transfer(n);
+      out[core] = e.now();
+    }(eng, m, done, c, sz));
+  }
+  eng.run();
+  // 12 cores sharing the NIC: everyone ~12x slower than a lone transfer.
+  for (double d : done) EXPECT_NEAR(d, alone * 12.0, alone * 0.01);
+}
+
+TEST(Noise, ComputeNoiseMeanOne) {
+  NoiseSpec spec;
+  spec.os_noise_sigma = 0.01;
+  NoiseModel nm(spec, Rng(77));
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(nm.compute_time(10.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.01);
+  EXPECT_GT(acc.stddev(), 0.0);
+  EXPECT_LT(acc.stddev(), 0.2);
+}
+
+TEST(Noise, ZeroSigmaIsExact) {
+  NoiseSpec spec;
+  spec.os_noise_sigma = 0.0;
+  NoiseModel nm(spec, Rng(1));
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(nm.compute_time(3.0), 3.0);
+}
+
+TEST(Noise, InterferenceMostlyOne) {
+  NoiseSpec spec;
+  spec.interference_prob = 0.05;
+  spec.interference_xm = 1.5;
+  spec.interference_alpha = 2.0;
+  NoiseModel nm(spec, Rng(5));
+  int bursts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double m = nm.storage_multiplier();
+    if (m != 1.0) {
+      ++bursts;
+      EXPECT_GE(m, 1.5);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(bursts) / n, 0.05, 0.005);
+}
+
+TEST(Noise, InterferenceDisabledByDefaultSpec) {
+  NoiseSpec spec;  // interference_prob = 0
+  NoiseModel nm(spec, Rng(9));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(nm.storage_multiplier(), 1.0);
+}
+
+TEST(Machine, SeedReproducibleNoise) {
+  des::Engine e1, e2;
+  Machine m1(e1, kraken(), 2, 42), m2(e2, kraken(), 2, 42);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(m1.node(1).noise().compute_time(5.0),
+                     m2.node(1).noise().compute_time(5.0));
+  }
+}
+
+}  // namespace
+}  // namespace dmr::cluster

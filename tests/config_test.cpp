@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "config/config.hpp"
+#include "config/xml.hpp"
+
+namespace dmr::config {
+namespace {
+
+// ------------------------------------------------------------------- xml
+
+TEST(Xml, SimpleElement) {
+  auto r = parse_xml("<root/>");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().name, "root");
+  EXPECT_TRUE(r.value().children.empty());
+}
+
+TEST(Xml, Attributes) {
+  auto r = parse_xml(R"(<layout name="my_layout" type='real' dimensions="64,16,2"/>)");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().attr_or("name", ""), "my_layout");
+  EXPECT_EQ(r.value().attr_or("type", ""), "real");
+  EXPECT_EQ(r.value().attr_or("dimensions", ""), "64,16,2");
+  EXPECT_EQ(r.value().attr("missing"), nullptr);
+  EXPECT_EQ(r.value().attr_or("missing", "dflt"), "dflt");
+}
+
+TEST(Xml, NestedChildren) {
+  auto r = parse_xml(R"(
+    <damaris>
+      <layout name="a"/>
+      <variable name="v1"/>
+      <variable name="v2"/>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().children.size(), 3u);
+  EXPECT_NE(r.value().child("layout"), nullptr);
+  EXPECT_EQ(r.value().children_named("variable").size(), 2u);
+  EXPECT_EQ(r.value().child("nope"), nullptr);
+}
+
+TEST(Xml, TextContent) {
+  auto r = parse_xml("<msg>hello &amp; goodbye</msg>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().text, "hello & goodbye");
+}
+
+TEST(Xml, CommentsAndDeclarationsSkipped) {
+  auto r = parse_xml(R"(<?xml version="1.0"?>
+    <!-- preamble -->
+    <root><!-- inner --><child/></root>
+    <!-- trailing -->)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().children.size(), 1u);
+}
+
+TEST(Xml, EntitiesInAttributes) {
+  auto r = parse_xml(R"(<e v="&lt;a&gt;&quot;&apos;"/>)");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().attr_or("v", ""), "<a>\"'");
+}
+
+TEST(Xml, Errors) {
+  EXPECT_FALSE(parse_xml("").is_ok());
+  EXPECT_FALSE(parse_xml("<a>").is_ok());                  // unterminated
+  EXPECT_FALSE(parse_xml("<a></b>").is_ok());              // mismatched
+  EXPECT_FALSE(parse_xml("<a x=1/>").is_ok());             // unquoted attr
+  EXPECT_FALSE(parse_xml("<a/><b/>").is_ok());             // two roots
+  EXPECT_FALSE(parse_xml("<a>&bogus;</a>").is_ok());       // bad entity
+  EXPECT_FALSE(parse_xml("just text").is_ok());
+}
+
+TEST(Xml, ErrorMentionsLine) {
+  auto r = parse_xml("<a>\n\n<b x=3/></a>");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- config
+
+const char* kPaperExample = R"(
+<damaris>
+  <buffer size="1048576" policy="partitioned"/>
+  <dedicated cores="1"/>
+  <layout name="my_layout" type="real" dimensions="64,16,2"
+          language="fortran"/>
+  <variable name="my_variable" layout="my_layout"/>
+  <event name="my_event" action="do_something" using="my_plugin"
+         scope="local"/>
+</damaris>)";
+
+TEST(Config, ParsesPaperExample) {
+  auto r = Config::from_string(kPaperExample);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Config& c = r.value();
+  EXPECT_EQ(c.buffer_size(), 1048576u);
+  EXPECT_EQ(c.buffer_policy(), "partitioned");
+  EXPECT_EQ(c.dedicated_cores(), 1);
+
+  const LayoutDecl* l = c.find_layout("my_layout");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->layout.type, format::DataType::kFloat32);  // "real"
+  EXPECT_EQ(l->layout.dims, (std::vector<std::uint64_t>{64, 16, 2}));
+  EXPECT_TRUE(l->fortran_order);
+
+  const VariableDecl* v = c.find_variable("my_variable");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->layout_name, "my_layout");
+
+  const EventDecl* e = c.find_event("my_event");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, "do_something");
+  EXPECT_EQ(e->plugin, "my_plugin");
+  EXPECT_EQ(e->scope, "local");
+
+  const format::Layout* resolved = c.layout_of("my_variable");
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->byte_size(), 64u * 16 * 2 * 4);
+}
+
+TEST(Config, Defaults) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().buffer_size(), 64 * MiB);
+  EXPECT_EQ(r.value().buffer_policy(), "firstfit");
+  EXPECT_EQ(r.value().dedicated_cores(), 1);
+}
+
+TEST(Config, VariablePipelines) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <layout name="l" type="float32" dimensions="8"/>
+      <variable name="raw" layout="l"/>
+      <variable name="packed" layout="l" pipeline="lossless"/>
+      <variable name="viz" layout="l" pipeline="visualization"/>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().find_variable("raw")->pipeline, "");
+  EXPECT_EQ(r.value().find_variable("packed")->pipeline, "lossless");
+  EXPECT_EQ(r.value().find_variable("viz")->pipeline, "visualization");
+}
+
+TEST(Config, RejectsBadRoot) {
+  EXPECT_FALSE(Config::from_string("<other/>").is_ok());
+}
+
+TEST(Config, RejectsUnknownLayoutReference) {
+  auto r = Config::from_string(R"(
+    <damaris><variable name="v" layout="ghost"/></damaris>)");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(Config, RejectsBadDimensions) {
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><layout name="l" type="real" dimensions="8,,2"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><layout name="l" type="real" dimensions="0"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><layout name="l" type="real" dimensions="abc"/></damaris>)")
+                   .is_ok());
+}
+
+TEST(Config, RejectsUnknownType) {
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><layout name="l" type="complex" dimensions="4"/></damaris>)")
+                   .is_ok());
+}
+
+TEST(Config, RejectsDuplicates) {
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris>
+      <layout name="l" type="real" dimensions="4"/>
+      <layout name="l" type="real" dimensions="8"/>
+    </damaris>)")
+                   .is_ok());
+}
+
+TEST(Config, RejectsBadPolicyAndScopeAndPipeline) {
+  EXPECT_FALSE(
+      Config::from_string(R"(<damaris><buffer policy="magic"/></damaris>)")
+          .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><event name="e" action="a" scope="universe"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris>
+      <layout name="l" type="real" dimensions="4"/>
+      <variable name="v" layout="l" pipeline="zip"/>
+    </damaris>)")
+                   .is_ok());
+}
+
+TEST(Config, RejectsEventWithoutAction) {
+  EXPECT_FALSE(
+      Config::from_string(R"(<damaris><event name="e"/></damaris>)").is_ok());
+}
+
+}  // namespace
+}  // namespace dmr::config

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hpp"
+
+namespace dmr::experiments {
+namespace {
+
+using strategies::StrategyKind;
+
+TEST(Experiments, KrakenScalesMatchPaper) {
+  EXPECT_EQ(kraken_scales(), (std::vector<int>{576, 1152, 2304, 4608, 9216}));
+}
+
+TEST(Experiments, KrakenConfigShape) {
+  auto cfg = kraken_config(StrategyKind::kFilePerProcess, 1152, 50, 50);
+  EXPECT_EQ(cfg.num_nodes, 96);
+  EXPECT_EQ(cfg.platform.node.cores, 12);
+  EXPECT_EQ(cfg.iterations, 50);
+  EXPECT_EQ(cfg.workload.write_interval, 50);
+  EXPECT_EQ(cfg.workload.points_per_rank, 44ull * 44 * 200);
+}
+
+TEST(Experiments, KrakenDamarisUsesBiggerSubdomains) {
+  auto cfg = kraken_config(StrategyKind::kDamaris, 1152, 5, 1);
+  EXPECT_EQ(cfg.workload.points_per_rank, 48ull * 44 * 200);
+}
+
+TEST(Experiments, Grid5000ConfigShape) {
+  auto cfg = grid5000_config(StrategyKind::kCollectiveIo, 672, 60, 20);
+  EXPECT_EQ(cfg.num_nodes, 28);
+  EXPECT_EQ(cfg.platform.node.cores, 24);
+  EXPECT_EQ(cfg.platform.fs.data_servers, 15);
+}
+
+TEST(Experiments, BlueprintConfigShape) {
+  auto cfg = blueprint_config(StrategyKind::kDamaris, 1024, 4, 1, 64.0);
+  EXPECT_EQ(cfg.num_nodes, 64);
+  EXPECT_EQ(cfg.platform.node.cores, 16);
+  EXPECT_EQ(cfg.workload.bytes_per_point, 64.0);
+}
+
+TEST(Breakeven, PaperNumbers) {
+  EXPECT_NEAR(breakeven_io_percent(24), 4.35, 0.01);  // the paper's example
+  EXPECT_NEAR(breakeven_io_percent(12), 100.0 / 11, 1e-9);
+  EXPECT_NEAR(breakeven_io_percent(2), 100.0, 1e-9);
+}
+
+TEST(Breakeven, MarginZeroAtBreakEven) {
+  // At p = 100/(N-1) with worst-case W_ded = N*W_std, the inequality is
+  // an equality (the paper's derivation).
+  for (int n : {12, 24, 48}) {
+    const double c = 100.0;
+    const double w = c / (n - 1);
+    EXPECT_NEAR(dedicated_core_margin(w, c, n, n * w), 0.0, 1e-9) << n;
+  }
+}
+
+TEST(Breakeven, RealisticWdedBeneficialAboveThreshold) {
+  const double c = 100.0;
+  const int n = 24;
+  const double p_star = 100.0 / (n - 1);
+  // Just above break-even with a realistic dedicated write (W_ded =
+  // W_std): beneficial.
+  double w = c * (p_star + 1.0) / 100.0;
+  EXPECT_GT(dedicated_core_margin(w, c, n, w), 0.0);
+  // Just below: not.
+  w = c * (p_star - 1.0) / 100.0;
+  EXPECT_LT(dedicated_core_margin(w, c, n, w), 0.0);
+}
+
+TEST(Breakeven, WorstCaseNeverWinsStrictly) {
+  // With W_ded = N*W_std the margin is <= 0 everywhere (max of the two
+  // branches); the paper's point is that it *reaches* zero at p*.
+  for (double pct : {1.0, 4.35, 10.0, 30.0}) {
+    const double c = 100.0, w = c * pct / 100.0;
+    EXPECT_LE(dedicated_core_margin(w, c, 24, 24 * w), 1e-9);
+  }
+}
+
+TEST(Breakeven, BeneficialHelper) {
+  EXPECT_FALSE(dedicated_core_beneficial(2.0, 100.0, 24));
+  EXPECT_FALSE(dedicated_core_beneficial(30.0, 100.0, 24));
+}
+
+}  // namespace
+}  // namespace dmr::experiments

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/presets.hpp"
+#include "des/process.hpp"
+#include "fs/sim_fs.hpp"
+
+namespace dmr::fs {
+namespace {
+
+using cluster::Machine;
+using cluster::PlatformSpec;
+
+/// A quiet platform (no injected noise) for deterministic unit checks.
+PlatformSpec quiet_kraken() {
+  PlatformSpec p = cluster::kraken();
+  p.noise.os_noise_sigma = 0.0;
+  p.noise.interference_prob = 0.0;
+  p.noise.burst_slowdown = 0.0;
+  p.noise.storm_slowdown = 0.0;
+  p.fs.client_stream_rate = 0.0;  // expose the server-side costs
+  return p;
+}
+
+struct Fixture {
+  des::Engine eng;
+  Machine machine;
+  SimFs fs;
+
+  explicit Fixture(PlatformSpec spec = quiet_kraken(), int nodes = 2)
+      : machine(eng, spec, nodes, /*seed=*/7), fs(machine) {}
+};
+
+TEST(SimFs, CreateAssignsDistinctIds) {
+  Fixture f;
+  std::vector<FileHandle> handles;
+  f.eng.spawn([](des::Engine&, SimFs& fs,
+                 std::vector<FileHandle>& out) -> des::Process {
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(co_await fs.create(0));
+    }
+  }(f.eng, f.fs, handles));
+  f.eng.run();
+  ASSERT_EQ(handles.size(), 3u);
+  EXPECT_NE(handles[0].id, handles[1].id);
+  EXPECT_NE(handles[1].id, handles[2].id);
+  EXPECT_EQ(f.fs.stats().creates, 3u);
+}
+
+TEST(SimFs, StripeCountClampedToServers) {
+  Fixture f;
+  FileHandle h;
+  f.eng.spawn([](des::Engine&, SimFs& fs, FileHandle& out) -> des::Process {
+    out = co_await fs.create(0, 10000);
+  }(f.eng, f.fs, h));
+  f.eng.run();
+  EXPECT_EQ(h.stripe_count, f.fs.num_servers());
+}
+
+TEST(SimFs, DefaultStripeCountFromSpec) {
+  Fixture f;
+  FileHandle h;
+  f.eng.spawn([](des::Engine&, SimFs& fs, FileHandle& out) -> des::Process {
+    out = co_await fs.create(0);
+  }(f.eng, f.fs, h));
+  f.eng.run();
+  EXPECT_EQ(h.stripe_count, quiet_kraken().fs.default_stripe_count);
+}
+
+TEST(SimFs, SerializedMdsCreateStorm) {
+  // With a Lustre-like single MDS, N concurrent creates serialize: the
+  // last one completes no earlier than N * create_cost.
+  Fixture f;
+  const int n = 100;
+  std::vector<double> done(n, -1);
+  for (int i = 0; i < n; ++i) {
+    f.eng.spawn([](des::Engine& e, SimFs& fs, std::vector<double>& out,
+                   int id) -> des::Process {
+      co_await fs.create(id % 24);
+      out[id] = e.now();
+    }(f.eng, f.fs, done, i));
+  }
+  f.eng.run();
+  const double cost = quiet_kraken().fs.metadata_create_cost;
+  double max_done = 0;
+  for (double d : done) max_done = std::max(max_done, d);
+  EXPECT_NEAR(max_done, n * cost, 1e-9);
+}
+
+TEST(SimFs, DistributedMetadataParallelizesCreates) {
+  cluster::PlatformSpec p = cluster::grid5000();
+  p.noise.os_noise_sigma = 0.0;
+  p.noise.interference_prob = 0.0;
+  Fixture f(p, 2);
+  const int n = 45;  // 3 creates per each of the 15 servers
+  std::vector<double> done(n, -1);
+  for (int i = 0; i < n; ++i) {
+    f.eng.spawn([](des::Engine& e, SimFs& fs, std::vector<double>& out,
+                   int id) -> des::Process {
+      co_await fs.create(id);  // client_core = id spreads across servers
+      out[id] = e.now();
+    }(f.eng, f.fs, done, i));
+  }
+  f.eng.run();
+  double max_done = 0;
+  for (double d : done) max_done = std::max(max_done, d);
+  // Ideal spread: 3 per server => 3 * cost; allow some imbalance, but it
+  // must be far below full serialization (45 * cost).
+  EXPECT_LT(max_done, 45 * p.fs.metadata_create_cost * 0.5);
+}
+
+TEST(SimFs, WriteMovesBytes) {
+  Fixture f;
+  f.eng.spawn([](des::Engine&, SimFs& fs) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    co_await fs.write(0, h, 0, 8 * MiB);
+    co_await fs.close(0, h);
+  }(f.eng, f.fs));
+  f.eng.run();
+  EXPECT_EQ(f.fs.stats().bytes_written, 8 * MiB);
+  EXPECT_GT(f.fs.stats().write_ops, 0u);
+}
+
+TEST(SimFs, WriteTimeScalesWithSize) {
+  auto write_time = [](Bytes n) {
+    Fixture f;
+    double done = -1;
+    f.eng.spawn([](des::Engine& e, SimFs& fs, Bytes sz,
+                   double& out) -> des::Process {
+      FileHandle h = co_await fs.create(0);
+      co_await fs.write(0, h, 0, sz);
+      out = e.now();
+    }(f.eng, f.fs, n, done));
+    f.eng.run();
+    return done;
+  };
+  const double t8 = write_time(8 * MiB);
+  const double t64 = write_time(64 * MiB);
+  EXPECT_GT(t64, t8 * 2.0);  // roughly linear minus fixed per-op costs
+  EXPECT_LT(t64, t8 * 10.0);
+}
+
+TEST(SimFs, LargerRequestsAreFaster) {
+  // Damaris's advantage: the same bytes in bigger requests cost fewer
+  // stream switches and round trips.
+  auto write_time = [](Bytes req) {
+    Fixture f;
+    double done = -1;
+    f.eng.spawn([](des::Engine& e, SimFs& fs, Bytes r,
+                   double& out) -> des::Process {
+      FileHandle h = co_await fs.create(0);
+      WriteOptions opts;
+      opts.max_request = r;
+      co_await fs.write(0, h, 0, 64 * MiB, opts);
+      out = e.now();
+    }(f.eng, f.fs, req, done));
+    f.eng.run();
+    return done;
+  };
+  EXPECT_LT(write_time(32 * MiB), write_time(0 /* = 1 stripe unit */));
+}
+
+TEST(SimFs, ConcurrentWritersCauseStreamSwitches) {
+  // Two clients interleaving on the same servers should switch streams
+  // far more than one client writing alone.
+  auto switches = [](int clients) {
+    Fixture f;
+    for (int c = 0; c < clients; ++c) {
+      f.eng.spawn([](des::Engine&, SimFs& fs, int core) -> des::Process {
+        FileHandle h = co_await fs.create(core, 1);
+        co_await fs.write(core, h, 0, 16 * MiB);
+      }(f.eng, f.fs, c));
+    }
+    f.eng.run();
+    return f.fs.stats().stream_switches;
+  };
+  EXPECT_GT(switches(8), 4 * switches(1));
+}
+
+TEST(SimFs, SharedFileLockRevocations) {
+  Fixture f;
+  const int writers = 4;
+  FileHandle shared;
+  // Two stripes only: the writers' interleaved regions hit the same
+  // servers and the extent locks ping-pong between them.
+  f.eng.spawn([](des::Engine&, SimFs& fs, FileHandle& out) -> des::Process {
+    out = co_await fs.create(0, 2, /*shared=*/true);
+  }(f.eng, f.fs, shared));
+  f.eng.run();
+  for (int w = 0; w < writers; ++w) {
+    f.eng.spawn([](des::Engine&, SimFs& fs, FileHandle h,
+                   int core) -> des::Process {
+      co_await fs.write(core, h,
+                        static_cast<std::uint64_t>(core) * 4 * MiB, 4 * MiB);
+    }(f.eng, f.fs, shared, w));
+  }
+  f.eng.run();
+  EXPECT_GT(f.fs.stats().lock_revocations, 0u);
+}
+
+TEST(SimFs, UnsharedFileHasNoLockTraffic) {
+  Fixture f;
+  for (int w = 0; w < 4; ++w) {
+    f.eng.spawn([](des::Engine&, SimFs& fs, int core) -> des::Process {
+      FileHandle h = co_await fs.create(core);
+      co_await fs.write(core, h, 0, 4 * MiB);
+    }(f.eng, f.fs, w));
+  }
+  f.eng.run();
+  EXPECT_EQ(f.fs.stats().lock_revocations, 0u);
+}
+
+TEST(SimFs, ServerBusyAccounted) {
+  Fixture f;
+  f.eng.spawn([](des::Engine&, SimFs& fs) -> des::Process {
+    FileHandle h = co_await fs.create(0, fs.num_servers());
+    co_await fs.write(0, h, 0, 48 * MiB);
+  }(f.eng, f.fs));
+  f.eng.run();
+  double busy = 0;
+  for (int s = 0; s < f.fs.num_servers(); ++s) busy += f.fs.server_busy(s);
+  EXPECT_GT(busy, 0.0);
+}
+
+TEST(SimFs, DeterministicAcrossRuns) {
+  auto run = [] {
+    cluster::PlatformSpec p = cluster::kraken();  // noise enabled
+    des::Engine eng;
+    Machine machine(eng, p, 2, 99);
+    SimFs fs(machine);
+    std::vector<double> done(8, -1);
+    for (int c = 0; c < 8; ++c) {
+      eng.spawn([](des::Engine& e, SimFs& f, std::vector<double>& out,
+                   int core) -> des::Process {
+        FileHandle h = co_await f.create(core);
+        co_await f.write(core, h, 0, 8 * MiB);
+        out[core] = e.now();
+      }(eng, fs, done, c));
+    }
+    eng.run();
+    return done;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dmr::fs

@@ -1,0 +1,217 @@
+// Tests for the §V-A extensions: multiple dedicated cores per node
+// (symmetric semantics) in the real middleware, and the alternative
+// transports / writer topologies in the simulator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/damaris.hpp"
+#include "experiments/experiments.hpp"
+#include "format/dh5.hpp"
+#include "strategies/strategy.hpp"
+
+namespace dmr {
+namespace {
+
+// --------------------------------------------- middleware, 2 shards
+
+const char* kTwoCoreConfig = R"(
+<damaris>
+  <buffer size="8388608" policy="partitioned"/>
+  <dedicated cores="2"/>
+  <layout name="grid" type="float32" dimensions="8,8,8"/>
+  <variable name="rho" layout="grid"/>
+  <event name="group_dump" action="write" scope="global"/>
+</damaris>)";
+
+struct TwoShardFixture : public ::testing::Test {
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("damaris_shards_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    auto cfg = config::Config::from_string(kTwoCoreConfig);
+    ASSERT_TRUE(cfg.is_ok()) << cfg.status().to_string();
+    core::NodeOptions opts;
+    opts.output_dir = dir_.string();
+    opts.file_prefix = "x";
+    node_ = std::make_unique<core::DamarisNode>(std::move(cfg.value()), 4,
+                                                opts);
+  }
+  void TearDown() override {
+    node_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::vector<std::byte> payload(float v) const {
+    std::vector<float> f(8 * 8 * 8, v);
+    std::vector<std::byte> out(f.size() * 4);
+    std::memcpy(out.data(), f.data(), out.size());
+    return out;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<core::DamarisNode> node_;
+};
+
+TEST_F(TwoShardFixture, TwoShardsCreated) {
+  EXPECT_EQ(node_->num_shards(), 2);
+}
+
+TEST_F(TwoShardFixture, EachShardPersistsItsGroup) {
+  ASSERT_TRUE(node_->start().is_ok());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = node_->client(c);
+      ASSERT_TRUE(client.write("rho", 0, payload(c)).is_ok());
+      ASSERT_TRUE(client.end_iteration(0).is_ok());
+      ASSERT_TRUE(client.finalize().is_ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(node_->stop().is_ok());
+
+  // Clients 0,2 -> shard 0; clients 1,3 -> shard 1: two files, two
+  // datasets each, disjoint sources.
+  auto r0 = format::Dh5Reader::open(dir_.string() + "/x_s0_node0_it0.dh5");
+  auto r1 = format::Dh5Reader::open(dir_.string() + "/x_s1_node0_it0.dh5");
+  ASSERT_TRUE(r0.is_ok()) << r0.status().to_string();
+  ASSERT_TRUE(r1.is_ok()) << r1.status().to_string();
+  ASSERT_EQ(r0.value().entries().size(), 2u);
+  ASSERT_EQ(r1.value().entries().size(), 2u);
+  for (const auto& e : r0.value().entries()) {
+    EXPECT_EQ(e.info.source % 2, 0);
+  }
+  for (const auto& e : r1.value().entries()) {
+    EXPECT_EQ(e.info.source % 2, 1);
+  }
+  EXPECT_EQ(node_->stats().persistency.files_written, 2u);
+  EXPECT_EQ(node_->buffer().used(), 0u);
+}
+
+TEST_F(TwoShardFixture, GlobalEventFiresPerShardGroup) {
+  std::atomic<int> calls{0};
+  node_->plugins().register_action("write",
+                                   [&](core::EventContext& ctx) {
+                                     (void)ctx;
+                                     calls.fetch_add(1);
+                                   });
+  ASSERT_TRUE(node_->start().is_ok());
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(node_->client(c).signal("group_dump", 1).is_ok());
+  }
+  for (int c = 0; c < 4; ++c) (void)node_->client(c).finalize();
+  ASSERT_TRUE(node_->stop().is_ok());
+  // Once per shard (the shard is the symmetric group).
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST_F(TwoShardFixture, StatsAggregateAcrossShards) {
+  ASSERT_TRUE(node_->start().is_ok());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = node_->client(c);
+      for (int it = 0; it < 3; ++it) {
+        ASSERT_TRUE(client.write("rho", it, payload(1.0f)).is_ok());
+        ASSERT_TRUE(client.end_iteration(it).is_ok());
+      }
+      ASSERT_TRUE(client.finalize().is_ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(node_->stop().is_ok());
+  auto stats = node_->stats();
+  EXPECT_EQ(stats.shards, 2);
+  EXPECT_EQ(stats.iterations.size(), 6u);  // 3 iterations x 2 shards
+  EXPECT_EQ(stats.persistency.files_written, 6u);
+  EXPECT_EQ(stats.persistency.datasets_written, 12u);
+}
+
+TEST(ShardClamp, MoreDedicatedThanClientsClamps) {
+  auto cfg = config::Config::from_string(R"(
+    <damaris>
+      <dedicated cores="8"/>
+      <layout name="l" type="float32" dimensions="4"/>
+      <variable name="v" layout="l"/>
+    </damaris>)");
+  ASSERT_TRUE(cfg.is_ok());
+  core::DamarisNode node(std::move(cfg.value()), 2);
+  EXPECT_EQ(node.num_shards(), 2);
+}
+
+// ------------------------------------------------ simulator transports
+
+using strategies::RunConfig;
+using strategies::StrategyKind;
+using strategies::Transport;
+
+RunConfig sim_base(int cores = 288) {
+  return experiments::kraken_config(StrategyKind::kDamaris, cores,
+                                    /*iterations=*/2, /*write_interval=*/1,
+                                    /*iteration_seconds=*/10.0, /*seed=*/3);
+}
+
+TEST(Transports, Names) {
+  EXPECT_STREQ(strategies::transport_name(Transport::kSharedMemory),
+               "shared-memory");
+  EXPECT_STREQ(strategies::transport_name(Transport::kFuse), "fuse");
+  EXPECT_STREQ(strategies::transport_name(Transport::kDedicatedNodes),
+               "dedicated-nodes");
+}
+
+TEST(Transports, FuseSlowerThanShm) {
+  auto shm = run_strategy(sim_base());
+  auto cfg = sim_base();
+  cfg.damaris.transport = Transport::kFuse;
+  auto fuse = run_strategy(cfg);
+  EXPECT_GT(fuse.rank_write_seconds.mean(),
+            shm.rank_write_seconds.mean() * 5.0);
+  EXPECT_EQ(fuse.staging_nodes, 0);
+}
+
+TEST(Transports, DedicatedNodesAddResourcesAndVisibleCost) {
+  auto cfg = sim_base(768);  // 64 compute nodes -> 2 staging nodes
+  cfg.damaris.transport = Transport::kDedicatedNodes;
+  auto res = run_strategy(cfg);
+  EXPECT_EQ(res.staging_nodes, 2);
+  EXPECT_EQ(res.compute_ranks, 768);  // no compute core given up
+  EXPECT_EQ(res.total_cores, (64 + 2) * 12);
+  auto shm = run_strategy(sim_base(768));
+  EXPECT_GT(res.rank_write_seconds.mean(),
+            shm.rank_write_seconds.mean() * 3.0);
+  // Two staging writers, one file each per phase.
+  EXPECT_EQ(res.fs_stats.creates, 2u * 2);
+}
+
+TEST(Transports, MultipleDedicatedCoresSplitFiles) {
+  auto cfg = sim_base();
+  cfg.damaris.dedicated_cores_per_node = 2;
+  cfg.workload = cm1::scale_for_dedicated(cm1::kraken_workload(false), 12, 2);
+  auto res = run_strategy(cfg);
+  EXPECT_EQ(res.compute_ranks, 24 * 10);       // 10 compute cores/node
+  EXPECT_EQ(res.fs_stats.creates, 24u * 2 * 2);  // nodes x K x phases
+  // Same global data volume regardless of K.
+  auto base = run_strategy(sim_base());
+  EXPECT_NEAR(static_cast<double>(res.bytes_per_phase),
+              static_cast<double>(base.bytes_per_phase),
+              static_cast<double>(base.bytes_per_phase) * 0.01);
+}
+
+TEST(Transports, ScaleForDedicatedMath) {
+  auto std_w = cm1::kraken_workload(false);
+  auto k1 = cm1::scale_for_dedicated(std_w, 12, 1);
+  EXPECT_EQ(k1.points_per_rank, cm1::kraken_workload(true).points_per_rank);
+  auto k3 = cm1::scale_for_dedicated(std_w, 12, 3);
+  EXPECT_NEAR(static_cast<double>(k3.points_per_rank),
+              static_cast<double>(std_w.points_per_rank) * 12.0 / 9.0, 1.0);
+  EXPECT_NEAR(k3.seconds_per_iteration,
+              std_w.seconds_per_iteration * 12.0 / 9.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dmr

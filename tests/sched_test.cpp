@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "sched/slot_scheduler.hpp"
+
+namespace dmr::sched {
+namespace {
+
+TEST(SlotScheduler, SlotsPartitionTheIteration) {
+  const double T = 230.0;  // the paper's measured Kraken iteration
+  const int nodes = 192;   // 2304 cores / 12
+  for (int id = 0; id < nodes; ++id) {
+    SlotScheduler s(T, nodes, id);
+    EXPECT_DOUBLE_EQ(s.slot_width(), T / nodes);
+    EXPECT_DOUBLE_EQ(s.slot_start(), id * T / nodes);
+    EXPECT_LT(s.slot_start(), T);
+  }
+}
+
+TEST(SlotScheduler, SlotsDoNotOverlap) {
+  const double T = 100.0;
+  const int nodes = 7;
+  double prev_end = 0.0;
+  for (int id = 0; id < nodes; ++id) {
+    SlotScheduler s(T, nodes, id);
+    EXPECT_NEAR(s.slot_start(), prev_end, 1e-12);
+    prev_end = s.slot_start() + s.slot_width();
+  }
+  EXPECT_NEAR(prev_end, T, 1e-12);
+}
+
+TEST(SlotScheduler, WaitTimeBeforeAndAfterSlot) {
+  SlotScheduler s(100.0, 10, 3);  // slot [30, 40)
+  EXPECT_DOUBLE_EQ(s.wait_time(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(29.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(30.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(55.0), 0.0);
+}
+
+TEST(SlotScheduler, NodeZeroNeverWaits) {
+  SlotScheduler s(50.0, 8, 0);
+  EXPECT_DOUBLE_EQ(s.wait_time(0.0), 0.0);
+}
+
+TEST(SlotScheduler, SingleNodeOwnsWholeIteration) {
+  SlotScheduler s(42.0, 1, 0);
+  EXPECT_DOUBLE_EQ(s.slot_width(), 42.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(0.0), 0.0);
+}
+
+TEST(SlotScheduler, EstimateUpdateEwma) {
+  SlotScheduler s(100.0, 4, 1);
+  s.update_estimate(200.0);
+  EXPECT_NEAR(s.estimated_iteration(), 0.7 * 100 + 0.3 * 200, 1e-12);
+  s.update_estimate(0.0);  // bogus measurements are ignored
+  EXPECT_NEAR(s.estimated_iteration(), 130.0, 1e-12);
+  // Slots follow the refined estimate.
+  EXPECT_NEAR(s.slot_start(), 130.0 / 4, 1e-12);
+}
+
+TEST(SlotScheduler, ConvergesToStableMeasurement) {
+  SlotScheduler s(10.0, 2, 0);
+  for (int i = 0; i < 60; ++i) s.update_estimate(230.0);
+  EXPECT_NEAR(s.estimated_iteration(), 230.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dmr::sched

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/presets.hpp"
+#include "des/process.hpp"
+#include "simmpi/collective_io.hpp"
+#include "simmpi/world.hpp"
+
+namespace dmr::simmpi {
+namespace {
+
+cluster::PlatformSpec quiet() {
+  cluster::PlatformSpec p = cluster::kraken();
+  p.noise.os_noise_sigma = 0.0;
+  p.noise.interference_prob = 0.0;
+  return p;
+}
+
+TEST(World, RankMappingFullNodes) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 4, 1);
+  World w(m, 48);
+  EXPECT_EQ(w.size(), 48);
+  EXPECT_EQ(w.ranks_per_node(), 12);
+  EXPECT_EQ(w.num_nodes_used(), 4);
+  EXPECT_EQ(w.node_of(0), 0);
+  EXPECT_EQ(w.node_of(13), 1);
+  EXPECT_EQ(w.core_of(13), 13);
+  EXPECT_TRUE(w.is_node_leader(12));
+  EXPECT_FALSE(w.is_node_leader(13));
+}
+
+TEST(World, RankMappingDamarisMode) {
+  // 11 compute ranks per 12-core node: core 11 of each node is left for
+  // the dedicated Damaris process.
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 4, 1);
+  World w(m, 44, /*ranks_per_node=*/11);
+  EXPECT_EQ(w.num_nodes_used(), 4);
+  EXPECT_EQ(w.node_of(11), 1);
+  EXPECT_EQ(w.core_of(11), 12);  // first core of node 1
+  EXPECT_EQ(w.core_of(10), 10);
+}
+
+TEST(World, BarrierReleasesAtLastArrival) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 1, 1);
+  World w(m, 4, 4);
+  std::vector<double> t(4, -1);
+  for (int r = 0; r < 4; ++r) {
+    eng.spawn([](des::Engine& e, World& world, std::vector<double>& out,
+                 int rank) -> des::Process {
+      co_await e.delay(rank * 1.0);
+      co_await world.barrier();
+      out[rank] = e.now();
+    }(eng, w, t, r));
+  }
+  eng.run();
+  for (double v : t) {
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 3.001);  // + dissemination latency only
+  }
+}
+
+TEST(World, SendIntraNodeFasterThanInterNode) {
+  auto send_time = [](int to) {
+    des::Engine eng;
+    cluster::Machine m(eng, quiet(), 2, 1);
+    World w(m, 24, 12);
+    double done = -1;
+    eng.spawn([](des::Engine& e, World& world, int dest,
+                 double& out) -> des::Process {
+      co_await world.send(0, dest, 64 * MiB);
+      out = e.now();
+    }(eng, w, to, done));
+    eng.run();
+    return done;
+  };
+  EXPECT_LT(send_time(1), send_time(12));
+}
+
+TEST(World, AllreduceMaxDeliversGlobalMax) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 1, 1);
+  World w(m, 8, 8);
+  std::vector<double> got(8, -1);
+  for (int r = 0; r < 8; ++r) {
+    eng.spawn([](des::Engine& e, World& world, std::vector<double>& out,
+                 int rank) -> des::Process {
+      co_await e.delay(rank * 0.1);
+      out[rank] = co_await world.allreduce_max(static_cast<double>(rank * 3));
+    }(eng, w, got, r));
+  }
+  eng.run();
+  for (double v : got) EXPECT_DOUBLE_EQ(v, 21.0);
+}
+
+TEST(World, AllreduceMaxIsCyclic) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 1, 1);
+  World w(m, 2, 2);
+  std::vector<double> results;
+  for (int r = 0; r < 2; ++r) {
+    eng.spawn([](des::Engine&, World& world, std::vector<double>& out,
+                 int rank) -> des::Process {
+      for (int round = 0; round < 3; ++round) {
+        double v = co_await world.allreduce_max(rank + round * 10.0);
+        if (rank == 0) out.push_back(v);
+      }
+    }(eng, w, results, r));
+  }
+  eng.run();
+  EXPECT_EQ(results, (std::vector<double>{1.0, 11.0, 21.0}));
+}
+
+TEST(World, AlltoallSynchronizes) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 2, 1);
+  World w(m, 24, 12);
+  std::vector<double> t(24, -1);
+  for (int r = 0; r < 24; ++r) {
+    eng.spawn([](des::Engine& e, World& world, std::vector<double>& out,
+                 int rank) -> des::Process {
+      co_await world.alltoall(rank, 1 * MiB);
+      out[rank] = e.now();
+    }(eng, w, t, r));
+  }
+  eng.run();
+  double lo = t[0], hi = t[0];
+  for (double v : t) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(lo, hi, 1e-9);  // collective completion
+  EXPECT_GT(lo, 0.0);
+}
+
+TEST(World, GatherRootPaysDrainCost) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 2, 1);
+  World w(m, 24, 12);
+  std::vector<double> t(24, -1);
+  for (int r = 0; r < 24; ++r) {
+    eng.spawn([](des::Engine& e, World& world, std::vector<double>& out,
+                 int rank) -> des::Process {
+      co_await world.gather(rank, 0, 4 * MiB);
+      out[rank] = e.now();
+    }(eng, w, t, r));
+  }
+  eng.run();
+  // Root finishes last: it must absorb everyone's payload.
+  for (int r = 1; r < 24; ++r) EXPECT_GE(t[0], t[r]);
+}
+
+TEST(CollectiveWriter, WritesAllBytesOnce) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 2, 1);
+  World w(m, 24, 12);
+  fs::SimFs sim_fs(m);
+  CollectiveWriter writer(w, sim_fs);
+  const Bytes per_rank = 4 * MiB;
+  for (int r = 0; r < 24; ++r) {
+    eng.spawn([](des::Engine&, World&, CollectiveWriter& cw, int rank,
+                 Bytes n) -> des::Process {
+      co_await cw.collective_write(rank, n);
+    }(eng, w, writer, r, per_rank));
+  }
+  eng.run();
+  EXPECT_GE(sim_fs.stats().bytes_written, per_rank * 24);
+  EXPECT_EQ(sim_fs.stats().creates, 1u);  // one shared file
+  EXPECT_EQ(writer.num_aggregators(), 2);
+}
+
+TEST(CollectiveWriter, AllRanksLeaveTogether) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 2, 1);
+  World w(m, 24, 12);
+  fs::SimFs sim_fs(m);
+  CollectiveWriter writer(w, sim_fs);
+  std::vector<double> t(24, -1);
+  for (int r = 0; r < 24; ++r) {
+    eng.spawn([](des::Engine& e, World&, CollectiveWriter& cw, int rank,
+                 std::vector<double>& out) -> des::Process {
+      co_await cw.collective_write(rank, 2 * MiB);
+      out[rank] = e.now();
+    }(eng, w, writer, r, t));
+  }
+  eng.run();
+  for (int r = 1; r < 24; ++r) EXPECT_NEAR(t[r], t[0], 1e-6);
+}
+
+TEST(CollectiveWriter, SharedFileTriggersLockTraffic) {
+  des::Engine eng;
+  cluster::Machine m(eng, quiet(), 4, 1);
+  World w(m, 48, 12);
+  fs::SimFs sim_fs(m);
+  CollectiveWriter writer(w, sim_fs);
+  for (int r = 0; r < 48; ++r) {
+    eng.spawn([](des::Engine&, World&, CollectiveWriter& cw, int rank)
+                  -> des::Process {
+      co_await cw.collective_write(rank, 2 * MiB);
+    }(eng, w, writer, r));
+  }
+  eng.run();
+  EXPECT_GT(sim_fs.stats().lock_revocations, 0u);
+}
+
+}  // namespace
+}  // namespace dmr::simmpi

@@ -1,0 +1,118 @@
+// Tests for the steering extensions: configured parameters, runtime
+// updates, and external event injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "config/config.hpp"
+#include "core/damaris.hpp"
+
+namespace dmr::core {
+namespace {
+
+const char* kSteeringConfig = R"(
+<damaris>
+  <buffer size="1048576" policy="partitioned"/>
+  <layout name="l" type="float32" dimensions="8"/>
+  <variable name="v" layout="l"/>
+  <event name="poke" action="custom" scope="local"/>
+  <parameter name="output_interval" value="10"/>
+  <parameter name="threshold" value="2.5"/>
+  <parameter name="mode" value="storm-chase"/>
+</damaris>)";
+
+struct SteeringFixture : public ::testing::Test {
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("steering_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    auto cfg = config::Config::from_string(kSteeringConfig);
+    ASSERT_TRUE(cfg.is_ok()) << cfg.status().to_string();
+    NodeOptions opts;
+    opts.output_dir = dir_.string();
+    node_ = std::make_unique<DamarisNode>(std::move(cfg.value()), 2, opts);
+  }
+  void TearDown() override {
+    node_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<DamarisNode> node_;
+};
+
+TEST_F(SteeringFixture, ConfigParametersParsed) {
+  const auto& params = node_->config().parameters();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params.at("output_interval").value, "10");
+}
+
+TEST_F(SteeringFixture, InitialValuesVisible) {
+  EXPECT_EQ(node_->parameter("output_interval").value_or(""), "10");
+  EXPECT_EQ(node_->parameter_int("output_interval").value_or(-1), 10);
+  EXPECT_DOUBLE_EQ(node_->parameter_double("threshold").value_or(0), 2.5);
+  EXPECT_EQ(node_->parameter("mode").value_or(""), "storm-chase");
+  EXPECT_FALSE(node_->parameter("ghost").has_value());
+}
+
+TEST_F(SteeringFixture, TypedReadersRejectGarbage) {
+  EXPECT_FALSE(node_->parameter_int("mode").has_value());
+  EXPECT_FALSE(node_->parameter_double("mode").has_value());
+  // Ints parse as doubles too.
+  EXPECT_DOUBLE_EQ(node_->parameter_double("output_interval").value_or(0),
+                   10.0);
+}
+
+TEST_F(SteeringFixture, SetParameterUpdatesAndValidates) {
+  ASSERT_TRUE(node_->set_parameter("output_interval", "1").is_ok());
+  EXPECT_EQ(node_->parameter_int("output_interval").value_or(-1), 1);
+  auto s = node_->set_parameter("undeclared", "x");
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SteeringFixture, ExternalSignalRunsActionOnce) {
+  std::atomic<int> calls{0};
+  node_->plugins().register_action("custom", [&](EventContext& ctx) {
+    EXPECT_EQ(ctx.source, -1);  // external, not a client
+    calls.fetch_add(1);
+  });
+  ASSERT_TRUE(node_->start().is_ok());
+  ASSERT_TRUE(node_->signal_external("poke", 7).is_ok());
+  EXPECT_EQ(node_->signal_external("nonexistent", 0).code(),
+            ErrorCode::kNotFound);
+  for (int c = 0; c < 2; ++c) (void)node_->client(c).finalize();
+  ASSERT_TRUE(node_->stop().is_ok());
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(SteeringFixture, PluginCanSteer) {
+  // A plugin adjusting a parameter from inside the dedicated core —
+  // content-driven steering.
+  node_->plugins().register_action("custom", [&](EventContext& ctx) {
+    (void)ctx.node.set_parameter("output_interval", "2");
+  });
+  ASSERT_TRUE(node_->start().is_ok());
+  ASSERT_TRUE(node_->client(0).signal("poke", 0).is_ok());
+  for (int c = 0; c < 2; ++c) (void)node_->client(c).finalize();
+  ASSERT_TRUE(node_->stop().is_ok());
+  EXPECT_EQ(node_->parameter_int("output_interval").value_or(-1), 2);
+}
+
+TEST(SteeringConfig, RejectsBadParameters) {
+  EXPECT_FALSE(config::Config::from_string(
+                   R"(<damaris><parameter value="3"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(config::Config::from_string(
+                   R"(<damaris><parameter name="p"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(config::Config::from_string(R"(
+    <damaris>
+      <parameter name="p" value="1"/>
+      <parameter name="p" value="2"/>
+    </damaris>)")
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace dmr::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/process.hpp"
+#include "des/resources.hpp"
+#include "des/task.hpp"
+
+namespace dmr::des {
+namespace {
+
+Task<int> add_after(Engine& eng, double dt, int a, int b) {
+  co_await eng.delay(dt);
+  co_return a + b;
+}
+
+Task<void> wait_twice(Engine& eng, double dt) {
+  co_await eng.delay(dt);
+  co_await eng.delay(dt);
+}
+
+Task<int> nested(Engine& eng) {
+  const int x = co_await add_after(eng, 1.0, 2, 3);
+  const int y = co_await add_after(eng, 2.0, x, 10);
+  co_return y;
+}
+
+TEST(Task, ReturnsValueAfterDelay) {
+  Engine eng;
+  int got = 0;
+  double done_at = -1;
+  eng.spawn([](Engine& e, int& out, double& t) -> Process {
+    out = co_await add_after(e, 2.5, 1, 2);
+    t = e.now();
+  }(eng, got, done_at));
+  eng.run();
+  EXPECT_EQ(got, 3);
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+}
+
+TEST(Task, VoidTask) {
+  Engine eng;
+  double done_at = -1;
+  eng.spawn([](Engine& e, double& t) -> Process {
+    co_await wait_twice(e, 1.5);
+    t = e.now();
+  }(eng, done_at));
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(Task, NestedComposition) {
+  Engine eng;
+  int got = 0;
+  double done_at = -1;
+  eng.spawn([](Engine& e, int& out, double& t) -> Process {
+    out = co_await nested(e);
+    t = e.now();
+  }(eng, got, done_at));
+  eng.run();
+  EXPECT_EQ(got, 15);
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(Task, ManyConcurrentTasksThroughResource) {
+  Engine eng;
+  ServiceQueue q(eng, 100.0);
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn([](Engine& e, ServiceQueue& s, std::vector<double>& out,
+                 int id) -> Process {
+      co_await [](Engine&, ServiceQueue& sq) -> Task<void> {
+        co_await sq.serve(100);
+      }(e, s);
+      out[id] = e.now();
+    }(eng, q, done, i));
+  }
+  eng.run();
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(done[i], i + 1.0);
+}
+
+TEST(Task, SynchronousCompletionChainsSafely) {
+  // A task that never suspends must still hand control back correctly.
+  Engine eng;
+  int got = 0;
+  eng.spawn([](Engine& e, int& out) -> Process {
+    out = co_await [](Engine&) -> Task<int> { co_return 7; }(e);
+  }(eng, got));
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Task, DeepSynchronousChainNoStackOverflow) {
+  Engine eng;
+  int got = 0;
+  eng.spawn([](Engine& e, int& out) -> Process {
+    int acc = 0;
+    for (int i = 0; i < 100000; ++i) {
+      acc += co_await [](Engine&) -> Task<int> { co_return 1; }(e);
+    }
+    out = acc;
+  }(eng, got));
+  eng.run();
+  EXPECT_EQ(got, 100000);
+}
+
+}  // namespace
+}  // namespace dmr::des

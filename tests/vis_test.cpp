@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "config/config.hpp"
+#include "core/damaris.hpp"
+#include "vis/image.hpp"
+#include "vis/render.hpp"
+
+namespace dmr::vis {
+namespace {
+
+// ------------------------------------------------------------- colormap
+
+TEST(Colormap, EndpointsAndClamping) {
+  EXPECT_EQ(colormap(0.0), (Rgb{68, 1, 84}));
+  EXPECT_EQ(colormap(1.0), (Rgb{253, 231, 37}));
+  EXPECT_EQ(colormap(-5.0), colormap(0.0));
+  EXPECT_EQ(colormap(7.0), colormap(1.0));
+}
+
+TEST(Colormap, MonotoneBrightness) {
+  // The viridis-like map brightens with t (perceptual ordering).
+  double prev = -1;
+  for (double t = 0; t <= 1.0; t += 0.05) {
+    const Rgb c = colormap(t);
+    const double luma = 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+    EXPECT_GE(luma, prev - 1e-9) << "t=" << t;
+    prev = luma;
+  }
+}
+
+TEST(Colormap, ColorizeRangeHandling) {
+  EXPECT_EQ(colorize(0.0f, 0.0f, 1.0f), colormap(0.0));
+  EXPECT_EQ(colorize(1.0f, 0.0f, 1.0f), colormap(1.0));
+  EXPECT_EQ(colorize(0.5f, 0.0f, 1.0f), colormap(0.5));
+  // Degenerate range -> midpoint, not a crash.
+  EXPECT_EQ(colorize(3.0f, 2.0f, 2.0f), colormap(0.5));
+}
+
+// ---------------------------------------------------------------- image
+
+class ImageIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vis_" + std::to_string(::getpid()) + ".ppm"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(ImageIo, PpmRoundTrip) {
+  Image img(3, 2);
+  img.at(0, 0) = {255, 0, 0};
+  img.at(2, 1) = {0, 255, 0};
+  ASSERT_TRUE(img.write_ppm(path_).is_ok());
+  auto back = Image::read_ppm(path_);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().width(), 3);
+  EXPECT_EQ(back.value().height(), 2);
+  EXPECT_EQ(back.value().at(0, 0), (Rgb{255, 0, 0}));
+  EXPECT_EQ(back.value().at(2, 1), (Rgb{0, 255, 0}));
+  EXPECT_EQ(back.value().at(1, 0), (Rgb{0, 0, 0}));
+}
+
+TEST_F(ImageIo, ReadRejectsGarbage) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("P3 banana", f);
+  std::fclose(f);
+  EXPECT_FALSE(Image::read_ppm(path_).is_ok());
+  EXPECT_FALSE(Image::read_ppm("/nonexistent.ppm").is_ok());
+}
+
+// --------------------------------------------------------------- render
+
+TEST(Render, SliceSelectsRightK) {
+  // Field: value = k everywhere, 2x2x3.
+  std::vector<float> field;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 3; ++k) field.push_back(static_cast<float>(k));
+    }
+  }
+  for (int k = 0; k < 3; ++k) {
+    Image img = render_slice(field, 2, 2, 3, k, 0.0f, 2.0f);
+    const Rgb expected = colorize(static_cast<float>(k), 0.0f, 2.0f);
+    EXPECT_EQ(img.at(0, 0), expected) << "k=" << k;
+    EXPECT_EQ(img.at(1, 1), expected) << "k=" << k;
+  }
+}
+
+TEST(Render, BlitPlacesSubdomains) {
+  Image img(4, 2, Rgb{9, 9, 9});
+  std::vector<float> block(2 * 2 * 1, 1.0f);
+  blit_slice(img, 2, 0, block, 2, 2, 1, 0, 0.0f, 1.0f);
+  EXPECT_EQ(img.at(0, 0), (Rgb{9, 9, 9}));       // untouched
+  EXPECT_EQ(img.at(2, 0), colormap(1.0));        // blitted
+  EXPECT_EQ(img.at(3, 1), colormap(1.0));
+}
+
+// ----------------------------------------------- middleware integration
+
+TEST(RenderAction, DedicatedCoreProducesFrames) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vis_frames_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  auto cfg = config::Config::from_string(R"(
+    <damaris>
+      <buffer size="4194304" policy="partitioned"/>
+      <layout name="sub" type="float32" dimensions="8,8,4"/>
+      <variable name="theta" layout="sub"/>
+      <event name="frame" action="render_theta" scope="global"/>
+    </damaris>)");
+  ASSERT_TRUE(cfg.is_ok());
+  core::NodeOptions opts;
+  opts.output_dir = dir.string();
+  opts.persist_on_end_iteration = false;
+  core::DamarisNode node(std::move(cfg.value()), 2, opts);
+
+  RenderOptions render;
+  render.variable = "theta";
+  render.output_dir = dir.string();
+  render.px = 2;
+  render.py = 1;
+  render.k_slice = 1;
+  register_render_action(node, "render_theta", render);
+
+  ASSERT_TRUE(node.start().is_ok());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = node.client(c);
+      // Client c paints constant value c so the mosaic halves differ.
+      std::vector<float> data(8 * 8 * 4, static_cast<float>(c));
+      for (int it = 0; it < 2; ++it) {
+        ASSERT_TRUE(
+            client.write("theta", it,
+                         std::as_bytes(std::span<const float>(data)))
+                .is_ok());
+        ASSERT_TRUE(client.signal("frame", it).is_ok());
+        ASSERT_TRUE(client.end_iteration(it).is_ok());
+      }
+      ASSERT_TRUE(client.finalize().is_ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(node.stop().is_ok());
+
+  auto analytics = node.analytics();
+  ASSERT_TRUE(analytics.count("theta.frames"));
+  EXPECT_DOUBLE_EQ(analytics["theta.frames"], 2.0);
+
+  auto frame = Image::read_ppm((dir / "theta_it1.ppm").string());
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  EXPECT_EQ(frame.value().width(), 16);
+  EXPECT_EQ(frame.value().height(), 8);
+  // Left half (source 0, value 0) is the low end of the auto range;
+  // right half (source 1, value 1) the high end.
+  EXPECT_EQ(frame.value().at(0, 0), colormap(0.0));
+  EXPECT_EQ(frame.value().at(15, 7), colormap(1.0));
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dmr::vis
