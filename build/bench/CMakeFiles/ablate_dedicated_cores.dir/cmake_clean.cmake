@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dedicated_cores.dir/ablate_dedicated_cores.cpp.o"
+  "CMakeFiles/ablate_dedicated_cores.dir/ablate_dedicated_cores.cpp.o.d"
+  "ablate_dedicated_cores"
+  "ablate_dedicated_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dedicated_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

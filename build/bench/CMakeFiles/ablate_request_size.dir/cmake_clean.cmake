@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_request_size.dir/ablate_request_size.cpp.o"
+  "CMakeFiles/ablate_request_size.dir/ablate_request_size.cpp.o.d"
+  "ablate_request_size"
+  "ablate_request_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_request_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_stripe_size.dir/ablate_stripe_size.cpp.o"
+  "CMakeFiles/ablate_stripe_size.dir/ablate_stripe_size.cpp.o.d"
+  "ablate_stripe_size"
+  "ablate_stripe_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stripe_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

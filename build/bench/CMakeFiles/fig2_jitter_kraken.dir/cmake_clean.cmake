@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_jitter_kraken.dir/fig2_jitter_kraken.cpp.o"
+  "CMakeFiles/fig2_jitter_kraken.dir/fig2_jitter_kraken.cpp.o.d"
+  "fig2_jitter_kraken"
+  "fig2_jitter_kraken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_jitter_kraken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

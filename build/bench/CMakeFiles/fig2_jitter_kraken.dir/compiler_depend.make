@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_jitter_kraken.
+# This may be replaced when dependencies are built.

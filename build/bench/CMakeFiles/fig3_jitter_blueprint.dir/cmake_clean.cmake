@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_jitter_blueprint.dir/fig3_jitter_blueprint.cpp.o"
+  "CMakeFiles/fig3_jitter_blueprint.dir/fig3_jitter_blueprint.cpp.o.d"
+  "fig3_jitter_blueprint"
+  "fig3_jitter_blueprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_jitter_blueprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

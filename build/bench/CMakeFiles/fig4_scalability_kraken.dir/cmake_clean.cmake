@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scalability_kraken.dir/fig4_scalability_kraken.cpp.o"
+  "CMakeFiles/fig4_scalability_kraken.dir/fig4_scalability_kraken.cpp.o.d"
+  "fig4_scalability_kraken"
+  "fig4_scalability_kraken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scalability_kraken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_overlap.cpp" "bench/CMakeFiles/fig5_overlap.dir/fig5_overlap.cpp.o" "gcc" "bench/CMakeFiles/fig5_overlap.dir/fig5_overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/dmr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/dmr_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dmr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/dmr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dmr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dmr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm1/CMakeFiles/dmr_cm1.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

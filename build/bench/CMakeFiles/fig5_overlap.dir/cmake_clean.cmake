@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_overlap.dir/fig5_overlap.cpp.o"
+  "CMakeFiles/fig5_overlap.dir/fig5_overlap.cpp.o.d"
+  "fig5_overlap"
+  "fig5_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_throughput_kraken.dir/fig6_throughput_kraken.cpp.o"
+  "CMakeFiles/fig6_throughput_kraken.dir/fig6_throughput_kraken.cpp.o.d"
+  "fig6_throughput_kraken"
+  "fig6_throughput_kraken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_throughput_kraken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

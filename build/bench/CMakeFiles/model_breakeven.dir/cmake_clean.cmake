@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_breakeven.dir/model_breakeven.cpp.o"
+  "CMakeFiles/model_breakeven.dir/model_breakeven.cpp.o.d"
+  "model_breakeven"
+  "model_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

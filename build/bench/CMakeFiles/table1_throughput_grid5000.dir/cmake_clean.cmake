@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_throughput_grid5000.dir/table1_throughput_grid5000.cpp.o"
+  "CMakeFiles/table1_throughput_grid5000.dir/table1_throughput_grid5000.cpp.o.d"
+  "table1_throughput_grid5000"
+  "table1_throughput_grid5000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_throughput_grid5000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_throughput_grid5000.
+# This may be replaced when dependencies are built.

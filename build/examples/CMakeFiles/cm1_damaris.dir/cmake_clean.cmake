@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm1_damaris.dir/cm1_damaris.cpp.o"
+  "CMakeFiles/cm1_damaris.dir/cm1_damaris.cpp.o.d"
+  "cm1_damaris"
+  "cm1_damaris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm1_damaris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

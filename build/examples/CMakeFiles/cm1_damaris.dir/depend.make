@@ -1,0 +1,2 @@
+# Empty dependencies file for cm1_damaris.
+# This may be replaced when dependencies are built.

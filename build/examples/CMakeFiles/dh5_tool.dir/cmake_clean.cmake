@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dh5_tool.dir/dh5_tool.cpp.o"
+  "CMakeFiles/dh5_tool.dir/dh5_tool.cpp.o.d"
+  "dh5_tool"
+  "dh5_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dh5_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

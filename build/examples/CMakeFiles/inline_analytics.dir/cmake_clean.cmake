@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_analytics.dir/inline_analytics.cpp.o"
+  "CMakeFiles/inline_analytics.dir/inline_analytics.cpp.o.d"
+  "inline_analytics"
+  "inline_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_viz.dir/inline_viz.cpp.o"
+  "CMakeFiles/inline_viz.dir/inline_viz.cpp.o.d"
+  "inline_viz"
+  "inline_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

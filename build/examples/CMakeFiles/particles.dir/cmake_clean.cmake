@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particles.dir/particles.cpp.o"
+  "CMakeFiles/particles.dir/particles.cpp.o.d"
+  "particles"
+  "particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

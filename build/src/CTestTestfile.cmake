@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("cluster")
+subdirs("fs")
+subdirs("simmpi")
+subdirs("shm")
+subdirs("format")
+subdirs("config")
+subdirs("sched")
+subdirs("core")
+subdirs("cm1")
+subdirs("strategies")
+subdirs("experiments")
+subdirs("postproc")
+subdirs("vis")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_cluster.dir/machine.cpp.o"
+  "CMakeFiles/dmr_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/dmr_cluster.dir/noise.cpp.o"
+  "CMakeFiles/dmr_cluster.dir/noise.cpp.o.d"
+  "CMakeFiles/dmr_cluster.dir/presets.cpp.o"
+  "CMakeFiles/dmr_cluster.dir/presets.cpp.o.d"
+  "libdmr_cluster.a"
+  "libdmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

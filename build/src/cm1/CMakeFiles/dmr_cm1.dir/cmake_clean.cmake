@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_cm1.dir/solver.cpp.o"
+  "CMakeFiles/dmr_cm1.dir/solver.cpp.o.d"
+  "CMakeFiles/dmr_cm1.dir/workload.cpp.o"
+  "CMakeFiles/dmr_cm1.dir/workload.cpp.o.d"
+  "libdmr_cm1.a"
+  "libdmr_cm1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_cm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmr_cm1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_common.dir/log.cpp.o"
+  "CMakeFiles/dmr_common.dir/log.cpp.o.d"
+  "CMakeFiles/dmr_common.dir/rng.cpp.o"
+  "CMakeFiles/dmr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dmr_common.dir/stats.cpp.o"
+  "CMakeFiles/dmr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dmr_common.dir/status.cpp.o"
+  "CMakeFiles/dmr_common.dir/status.cpp.o.d"
+  "CMakeFiles/dmr_common.dir/table.cpp.o"
+  "CMakeFiles/dmr_common.dir/table.cpp.o.d"
+  "CMakeFiles/dmr_common.dir/units.cpp.o"
+  "CMakeFiles/dmr_common.dir/units.cpp.o.d"
+  "libdmr_common.a"
+  "libdmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config.cpp" "src/config/CMakeFiles/dmr_config.dir/config.cpp.o" "gcc" "src/config/CMakeFiles/dmr_config.dir/config.cpp.o.d"
+  "/root/repo/src/config/xml.cpp" "src/config/CMakeFiles/dmr_config.dir/xml.cpp.o" "gcc" "src/config/CMakeFiles/dmr_config.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/dmr_format.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_config.dir/config.cpp.o"
+  "CMakeFiles/dmr_config.dir/config.cpp.o.d"
+  "CMakeFiles/dmr_config.dir/xml.cpp.o"
+  "CMakeFiles/dmr_config.dir/xml.cpp.o.d"
+  "libdmr_config.a"
+  "libdmr_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capi.cpp" "src/core/CMakeFiles/dmr_core.dir/capi.cpp.o" "gcc" "src/core/CMakeFiles/dmr_core.dir/capi.cpp.o.d"
+  "/root/repo/src/core/damaris.cpp" "src/core/CMakeFiles/dmr_core.dir/damaris.cpp.o" "gcc" "src/core/CMakeFiles/dmr_core.dir/damaris.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/dmr_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/dmr_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/persistency.cpp" "src/core/CMakeFiles/dmr_core.dir/persistency.cpp.o" "gcc" "src/core/CMakeFiles/dmr_core.dir/persistency.cpp.o.d"
+  "/root/repo/src/core/plugin.cpp" "src/core/CMakeFiles/dmr_core.dir/plugin.cpp.o" "gcc" "src/core/CMakeFiles/dmr_core.dir/plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/dmr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/dmr_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/dmr_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

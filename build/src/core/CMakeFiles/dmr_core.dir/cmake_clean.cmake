@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_core.dir/capi.cpp.o"
+  "CMakeFiles/dmr_core.dir/capi.cpp.o.d"
+  "CMakeFiles/dmr_core.dir/damaris.cpp.o"
+  "CMakeFiles/dmr_core.dir/damaris.cpp.o.d"
+  "CMakeFiles/dmr_core.dir/metadata.cpp.o"
+  "CMakeFiles/dmr_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/dmr_core.dir/persistency.cpp.o"
+  "CMakeFiles/dmr_core.dir/persistency.cpp.o.d"
+  "CMakeFiles/dmr_core.dir/plugin.cpp.o"
+  "CMakeFiles/dmr_core.dir/plugin.cpp.o.d"
+  "libdmr_core.a"
+  "libdmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

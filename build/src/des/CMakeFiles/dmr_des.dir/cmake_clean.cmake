@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_des.dir/engine.cpp.o"
+  "CMakeFiles/dmr_des.dir/engine.cpp.o.d"
+  "CMakeFiles/dmr_des.dir/resources.cpp.o"
+  "CMakeFiles/dmr_des.dir/resources.cpp.o.d"
+  "libdmr_des.a"
+  "libdmr_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

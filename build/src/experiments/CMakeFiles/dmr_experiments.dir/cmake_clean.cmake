@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/dmr_experiments.dir/experiments.cpp.o.d"
+  "libdmr_experiments.a"
+  "libdmr_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

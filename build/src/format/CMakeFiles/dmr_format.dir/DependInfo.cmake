@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/codec.cpp" "src/format/CMakeFiles/dmr_format.dir/codec.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/codec.cpp.o.d"
+  "/root/repo/src/format/crc32.cpp" "src/format/CMakeFiles/dmr_format.dir/crc32.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/crc32.cpp.o.d"
+  "/root/repo/src/format/dh5.cpp" "src/format/CMakeFiles/dmr_format.dir/dh5.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/dh5.cpp.o.d"
+  "/root/repo/src/format/huffman.cpp" "src/format/CMakeFiles/dmr_format.dir/huffman.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/huffman.cpp.o.d"
+  "/root/repo/src/format/lz.cpp" "src/format/CMakeFiles/dmr_format.dir/lz.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/lz.cpp.o.d"
+  "/root/repo/src/format/pipeline.cpp" "src/format/CMakeFiles/dmr_format.dir/pipeline.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/pipeline.cpp.o.d"
+  "/root/repo/src/format/types.cpp" "src/format/CMakeFiles/dmr_format.dir/types.cpp.o" "gcc" "src/format/CMakeFiles/dmr_format.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_format.dir/codec.cpp.o"
+  "CMakeFiles/dmr_format.dir/codec.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/crc32.cpp.o"
+  "CMakeFiles/dmr_format.dir/crc32.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/dh5.cpp.o"
+  "CMakeFiles/dmr_format.dir/dh5.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/huffman.cpp.o"
+  "CMakeFiles/dmr_format.dir/huffman.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/lz.cpp.o"
+  "CMakeFiles/dmr_format.dir/lz.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/pipeline.cpp.o"
+  "CMakeFiles/dmr_format.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dmr_format.dir/types.cpp.o"
+  "CMakeFiles/dmr_format.dir/types.cpp.o.d"
+  "libdmr_format.a"
+  "libdmr_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_fs.dir/sim_fs.cpp.o"
+  "CMakeFiles/dmr_fs.dir/sim_fs.cpp.o.d"
+  "libdmr_fs.a"
+  "libdmr_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_postproc.dir/catalog.cpp.o"
+  "CMakeFiles/dmr_postproc.dir/catalog.cpp.o.d"
+  "libdmr_postproc.a"
+  "libdmr_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

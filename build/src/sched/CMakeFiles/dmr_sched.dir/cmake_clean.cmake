@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_sched.dir/slot_scheduler.cpp.o"
+  "CMakeFiles/dmr_sched.dir/slot_scheduler.cpp.o.d"
+  "libdmr_sched.a"
+  "libdmr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

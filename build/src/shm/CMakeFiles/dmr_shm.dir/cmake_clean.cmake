@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_shm.dir/event_queue.cpp.o"
+  "CMakeFiles/dmr_shm.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dmr_shm.dir/shared_buffer.cpp.o"
+  "CMakeFiles/dmr_shm.dir/shared_buffer.cpp.o.d"
+  "libdmr_shm.a"
+  "libdmr_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

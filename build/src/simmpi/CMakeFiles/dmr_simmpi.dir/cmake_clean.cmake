@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_simmpi.dir/collective_io.cpp.o"
+  "CMakeFiles/dmr_simmpi.dir/collective_io.cpp.o.d"
+  "CMakeFiles/dmr_simmpi.dir/world.cpp.o"
+  "CMakeFiles/dmr_simmpi.dir/world.cpp.o.d"
+  "libdmr_simmpi.a"
+  "libdmr_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_strategies.dir/strategy.cpp.o"
+  "CMakeFiles/dmr_strategies.dir/strategy.cpp.o.d"
+  "libdmr_strategies.a"
+  "libdmr_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

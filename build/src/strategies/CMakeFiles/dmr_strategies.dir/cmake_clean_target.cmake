@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmr_strategies.a"
+)

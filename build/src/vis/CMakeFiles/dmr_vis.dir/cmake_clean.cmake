@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmr_vis.dir/image.cpp.o"
+  "CMakeFiles/dmr_vis.dir/image.cpp.o.d"
+  "CMakeFiles/dmr_vis.dir/render.cpp.o"
+  "CMakeFiles/dmr_vis.dir/render.cpp.o.d"
+  "libdmr_vis.a"
+  "libdmr_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmr_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm1_test.dir/cm1_test.cpp.o"
+  "CMakeFiles/cm1_test.dir/cm1_test.cpp.o.d"
+  "cm1_test"
+  "cm1_test.pdb"
+  "cm1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postproc_test.dir/postproc_test.cpp.o"
+  "CMakeFiles/postproc_test.dir/postproc_test.cpp.o.d"
+  "postproc_test"
+  "postproc_test.pdb"
+  "postproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vis_test.dir/vis_test.cpp.o"
+  "CMakeFiles/vis_test.dir/vis_test.cpp.o.d"
+  "vis_test"
+  "vis_test.pdb"
+  "vis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
