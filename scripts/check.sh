@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Pre-merge correctness gate: static analysis + the sanitizer matrix.
+#
+#   scripts/check.sh            # lint + ASan ctest + UBSan ctest
+#   scripts/check.sh --tsan     # ... plus the shm/check suites under TSan
+#   scripts/check.sh --fast     # lint + ASan only (quick local loop)
+#
+# Each sanitizer gets its own build tree (build-asan, build-ubsan,
+# build-tsan) so trees stay incremental across runs. The lint step uses
+# the regular `build/` tree's compilation database and is skipped with a
+# notice when clang-tidy is not installed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+RUN_TSAN=0
+RUN_UBSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    --fast) RUN_UBSAN=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+# ---------------------------------------------------------------- lint
+step "lint (clang-tidy)"
+cmake -B build -S . >/dev/null
+cmake --build build --target lint
+
+# ----------------------------------------------------- sanitizer matrix
+run_sanitized_ctest() {
+  local san="$1" dir="$2" test_regex="$3"
+  shift 3
+  step "ctest under ${san}"
+  cmake -B "$dir" -S . -DDMR_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target "$@"
+  if [ -n "$test_regex" ]; then
+    ctest --test-dir "$dir" -R "$test_regex" --output-on-failure -j "$JOBS"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
+}
+
+run_sanitized_ctest address build-asan "" dmr_tests
+if [ "$RUN_UBSAN" = 1 ]; then
+  run_sanitized_ctest undefined build-ubsan "" dmr_tests
+fi
+if [ "$RUN_TSAN" = 1 ]; then
+  # The threaded suites: shared-memory layer, protocol checker, and the
+  # middleware tests that drive client/server threads.
+  run_sanitized_ctest thread build-tsan \
+    "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism" \
+    shm_test check_test
+fi
+
+step "all checks passed"

@@ -1,0 +1,275 @@
+#include "check/protocol_checker.hpp"
+
+#include <sstream>
+
+namespace dmr::check {
+
+std::string_view block_state_name(BlockState s) {
+  switch (s) {
+    case BlockState::kAllocated: return "allocated";
+    case BlockState::kWritten: return "written";
+    case BlockState::kPublished: return "published";
+    case BlockState::kConsumed: return "consumed";
+    case BlockState::kNotLive: return "not-live";
+  }
+  return "?";
+}
+
+std::string_view violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kDoubleRelease: return "double-release";
+    case ViolationKind::kWriteAfterPublish: return "write-after-publish";
+    case ViolationKind::kConsumeBeforeNotify: return "consume-before-notify";
+    case ViolationKind::kPublishWithoutWrite: return "publish-without-write";
+    case ViolationKind::kDoublePublish: return "double-publish";
+    case ViolationKind::kReleaseWhilePublished:
+      return "release-while-published";
+    case ViolationKind::kOverlap: return "overlapping-allocation";
+    case ViolationKind::kUnknownBlock: return "unknown-block";
+    case ViolationKind::kPushAfterClose: return "push-after-close";
+    case ViolationKind::kLeakedBlock: return "leaked-block";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << violation_kind_name(kind) << ": block[offset=" << block.offset
+     << " size=" << block.size << " client=" << client_id;
+  if (iteration >= 0) os << " iteration=" << iteration;
+  os << "] state=" << block_state_name(state);
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+ProtocolChecker::~ProtocolChecker() {
+  for (shm::SharedBuffer* b : buffers_) b->set_observer(nullptr);
+  for (shm::EventQueue* q : queues_) q->set_observer(nullptr);
+}
+
+void ProtocolChecker::observe(shm::SharedBuffer& buf) {
+  buf.set_observer(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(&buf);
+}
+
+void ProtocolChecker::observe(shm::EventQueue& q) {
+  q.set_observer(this);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queues_.push_back(&q);
+}
+
+void ProtocolChecker::record(ViolationKind kind, const shm::Block& block,
+                             BlockState state, std::int64_t iteration,
+                             std::string detail) {
+  Violation v;
+  v.kind = kind;
+  v.block = block;
+  v.client_id = block.client_id;
+  v.iteration = iteration;
+  v.state = state;
+  v.detail = std::move(detail);
+  violations_.push_back(std::move(v));
+}
+
+std::map<Bytes, ProtocolChecker::Shadow>::iterator
+ProtocolChecker::find_shadow(const shm::Block& block) {
+  auto it = live_.find(block.offset);
+  if (it == live_.end()) return live_.end();
+  // Same offset but a different extent or owner means the caller holds
+  // a stale Block for memory that has since been re-allocated.
+  if (it->second.block.size != block.size ||
+      it->second.block.client_id != block.client_id) {
+    return live_.end();
+  }
+  return it;
+}
+
+void ProtocolChecker::on_allocate(const shm::Block& block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Overlap scan against the (offset-ordered) live map: the previous
+  // block must end at or before our offset, the next must start at or
+  // after our end.
+  auto next = live_.lower_bound(block.offset);
+  if (next != live_.end() &&
+      block.offset + block.size > next->second.block.offset) {
+    record(ViolationKind::kOverlap, block, next->second.state,
+           next->second.iteration,
+           "overlaps live block at offset " +
+               std::to_string(next->second.block.offset));
+  }
+  if (next != live_.begin()) {
+    const Shadow& prev = std::prev(next)->second;
+    if (prev.block.offset + prev.block.size > block.offset) {
+      record(ViolationKind::kOverlap, block, prev.state, prev.iteration,
+             "overlaps live block at offset " +
+                 std::to_string(prev.block.offset));
+    }
+  }
+  live_[block.offset] = Shadow{block, BlockState::kAllocated, -1};
+}
+
+void ProtocolChecker::on_write(const shm::Block& block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = find_shadow(block);
+  if (it == live_.end()) {
+    record(ViolationKind::kUnknownBlock, block, BlockState::kAllocated, -1,
+           "write to a block the allocator never handed out (or already "
+           "released)");
+    return;
+  }
+  Shadow& s = it->second;
+  switch (s.state) {
+    case BlockState::kAllocated:
+    case BlockState::kWritten:  // rewriting before publish is fine
+      s.state = BlockState::kWritten;
+      break;
+    case BlockState::kPublished:
+      record(ViolationKind::kWriteAfterPublish, block, s.state, s.iteration,
+             "client mutated a block already handed to the server");
+      break;
+    case BlockState::kConsumed:
+      record(ViolationKind::kWriteAfterPublish, block, s.state, s.iteration,
+             "client mutated a block the server is consuming");
+      break;
+    case BlockState::kNotLive:  // never stored in the shadow map
+      break;
+  }
+}
+
+void ProtocolChecker::on_push(const shm::Message& msg, bool accepted) {
+  if (msg.type != shm::MessageType::kWriteNotification) {
+    if (!accepted) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      record(ViolationKind::kPushAfterClose, shm::Block{0, 0, msg.client_id},
+             BlockState::kNotLive, msg.iteration,
+             "event dropped: queue already closed");
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!accepted) {
+    record(ViolationKind::kPushAfterClose, msg.block, BlockState::kPublished,
+           msg.iteration,
+           "write-notification dropped: queue already closed (block leaks "
+           "unless the client releases it)");
+    return;
+  }
+  auto it = find_shadow(msg.block);
+  if (it == live_.end()) {
+    record(ViolationKind::kUnknownBlock, msg.block, BlockState::kPublished,
+           msg.iteration, "published a block the allocator never handed out");
+    return;
+  }
+  Shadow& s = it->second;
+  switch (s.state) {
+    case BlockState::kAllocated:
+      record(ViolationKind::kPublishWithoutWrite, msg.block, s.state,
+             msg.iteration, "payload was never written before publishing");
+      s.state = BlockState::kPublished;
+      s.iteration = msg.iteration;
+      break;
+    case BlockState::kWritten:
+      s.state = BlockState::kPublished;
+      s.iteration = msg.iteration;
+      break;
+    case BlockState::kPublished:
+    case BlockState::kConsumed:
+      record(ViolationKind::kDoublePublish, msg.block, s.state, s.iteration,
+             "block already in flight");
+      break;
+    case BlockState::kNotLive:  // never stored in the shadow map
+      break;
+  }
+}
+
+void ProtocolChecker::on_pop(const shm::Message& msg) {
+  if (msg.type != shm::MessageType::kWriteNotification) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = find_shadow(msg.block);
+  if (it == live_.end()) {
+    record(ViolationKind::kUnknownBlock, msg.block, BlockState::kNotLive,
+           msg.iteration, "consumed a block the allocator never handed out");
+    return;
+  }
+  Shadow& s = it->second;
+  switch (s.state) {
+    case BlockState::kAllocated:
+    case BlockState::kWritten:
+      record(ViolationKind::kConsumeBeforeNotify, msg.block, s.state,
+             msg.iteration,
+             "server consumed a block that was never published");
+      s.state = BlockState::kConsumed;
+      break;
+    case BlockState::kPublished:
+      s.state = BlockState::kConsumed;
+      break;
+    case BlockState::kConsumed:
+      record(ViolationKind::kConsumeBeforeNotify, msg.block, s.state,
+             s.iteration, "block consumed twice");
+      break;
+    case BlockState::kNotLive:  // never stored in the shadow map
+      break;
+  }
+}
+
+void ProtocolChecker::on_deallocate(const shm::Block& block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = find_shadow(block);
+  if (it == live_.end()) {
+    record(ViolationKind::kDoubleRelease, block, BlockState::kNotLive, -1,
+           "block is not live (already released, or never allocated)");
+    return;
+  }
+  Shadow& s = it->second;
+  if (s.state == BlockState::kPublished) {
+    // The notification is still in the queue: the server will pop a
+    // descriptor pointing at freed (possibly re-allocated) memory.
+    record(ViolationKind::kReleaseWhilePublished, block, s.state, s.iteration,
+           "write-notification still in flight");
+  }
+  // Releasing from kAllocated / kWritten is a legal client-side abort
+  // (reservation rollback); from kConsumed it is the normal server path.
+  live_.erase(it);
+}
+
+std::vector<Violation> ProtocolChecker::finalize() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!leaks_reported_) {
+    leaks_reported_ = true;
+    for (const auto& [offset, s] : live_) {
+      record(ViolationKind::kLeakedBlock, s.block, s.state, s.iteration,
+             "still live at shutdown (state " +
+                 std::string(block_state_name(s.state)) + ")");
+    }
+  }
+  return violations_;
+}
+
+std::vector<Violation> ProtocolChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return violations_;
+}
+
+std::size_t ProtocolChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return violations_.size();
+}
+
+std::size_t ProtocolChecker::live_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+std::string ProtocolChecker::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (violations_.empty()) return "protocol clean: no violations\n";
+  std::ostringstream os;
+  os << violations_.size() << " protocol violation(s):\n";
+  for (const Violation& v : violations_) {
+    os << "  " << v.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dmr::check

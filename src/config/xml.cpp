@@ -17,18 +17,18 @@ std::string XmlNode::attr_or(std::string_view key, std::string fallback) const {
   return v ? *v : std::move(fallback);
 }
 
-const XmlNode* XmlNode::child(std::string_view name) const {
+const XmlNode* XmlNode::child(std::string_view tag) const {
   for (const auto& c : children) {
-    if (c.name == name) return &c;
+    if (c.name == tag) return &c;
   }
   return nullptr;
 }
 
 std::vector<const XmlNode*> XmlNode::children_named(
-    std::string_view name) const {
+    std::string_view tag) const {
   std::vector<const XmlNode*> out;
   for (const auto& c : children) {
-    if (c.name == name) out.push_back(&c);
+    if (c.name == tag) out.push_back(&c);
   }
   return out;
 }

@@ -27,10 +27,10 @@ class XmlNode {
   std::string attr_or(std::string_view key, std::string fallback) const;
 
   /// First child element by name, or nullptr.
-  const XmlNode* child(std::string_view name) const;
+  const XmlNode* child(std::string_view tag) const;
 
   /// All children with the given element name.
-  std::vector<const XmlNode*> children_named(std::string_view name) const;
+  std::vector<const XmlNode*> children_named(std::string_view tag) const;
 };
 
 /// Parses a complete document; returns the root element.

@@ -71,6 +71,12 @@ DamarisNode::DamarisNode(config::Config cfg, int num_clients,
   }
   register_builtin_actions();
   server_stats_.shards = shards;
+
+  if (opts_.protocol_check) {
+    checker_ = std::make_unique<check::ProtocolChecker>();
+    checker_->observe(*buffer_);
+    for (auto& shard : shards_) checker_->observe(shard->queue);
+  }
 }
 
 DamarisNode::~DamarisNode() {
@@ -107,6 +113,14 @@ Status DamarisNode::stop() {
     if (shard->thread.joinable()) shard->thread.join();
   }
   started_ = false;
+  if (checker_) {
+    const auto violations = checker_->finalize();
+    for (const auto& v : violations) {
+      DMR_LOG(kError, "damaris") << "shm protocol: " << v.to_string();
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    server_stats_.protocol_violations = violations.size();
+  }
   return Status::ok();
 }
 
@@ -390,6 +404,7 @@ Status Client::write_sized(const std::string& variable,
   auto block = node_->blocking_allocate(data.size(), id_);
   if (!block.is_ok()) return block.status();
   std::memcpy(node_->buffer_->data(block.value()), data.data(), data.size());
+  node_->buffer_->note_write(block.value());
 
   shm::Message msg;
   msg.type = shm::MessageType::kWriteNotification;
@@ -438,6 +453,9 @@ Status Client::commit(const std::string& variable, std::int64_t iteration) {
     block = it->second;
     node_->pending_allocs_.erase(it);
   }
+  // dc_commit publishes an in-place write: the client's last chance to
+  // have touched the payload.
+  node_->buffer_->note_write(block);
   shm::Message msg;
   msg.type = shm::MessageType::kWriteNotification;
   msg.client_id = id_;

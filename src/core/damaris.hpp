@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/protocol_checker.hpp"
 #include "common/status.hpp"
 #include "config/config.hpp"
 #include "core/metadata.hpp"
@@ -56,6 +57,13 @@ struct NodeOptions {
   /// Persist all blocks of an iteration once every client of the shard
   /// has called end_iteration() (the default "write" behaviour).
   bool persist_on_end_iteration = true;
+  /// Attach a check::ProtocolChecker to the shared buffer and every
+  /// shard queue: block-lifecycle violations (double release,
+  /// write-after-publish, leaks, ...) are logged at stop() and counted
+  /// in ServerStats::protocol_violations. Hooks only fire in DMR_CHECK
+  /// builds; the checker itself costs one mutex per shm operation, so
+  /// leave this off for benchmarks.
+  bool protocol_check = false;
 };
 
 /// Outcome of one completed iteration on a dedicated core.
@@ -77,6 +85,9 @@ struct ServerStats {
   double busy_seconds = 0.0;
   double elapsed_seconds = 0.0;
   int shards = 1;
+  /// Shm-protocol violations found by the checker (NodeOptions::
+  /// protocol_check); populated at stop().
+  std::uint64_t protocol_violations = 0;
   PersistencyStats persistency;
 
   /// Fraction of time the dedicated cores were idle — the paper's
@@ -268,6 +279,10 @@ class DamarisNode {
 
   mutable std::mutex params_mutex_;
   std::map<std::string, std::string> parameters_;
+
+  // Last member: its destructor detaches from buffer_ and the shard
+  // queues, which must still be alive.
+  std::unique_ptr<check::ProtocolChecker> checker_;
 };
 
 }  // namespace dmr::core

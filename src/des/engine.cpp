@@ -8,6 +8,23 @@
 
 namespace dmr::des {
 
+namespace {
+#ifdef DMR_CHECK
+thread_local DispatchHook t_dispatch_hook = nullptr;
+thread_local void* t_dispatch_ctx = nullptr;
+#endif
+}  // namespace
+
+void set_thread_dispatch_hook(DispatchHook hook, void* ctx) {
+#ifdef DMR_CHECK
+  t_dispatch_hook = hook;
+  t_dispatch_ctx = ctx;
+#else
+  (void)hook;
+  (void)ctx;
+#endif
+}
+
 Engine::~Engine() {
   // Drain the queue without running anything.
   while (!queue_.empty()) {
@@ -65,6 +82,11 @@ void Engine::dispatch(Event* ev) {
   assert(ev->t >= now_);
   now_ = ev->t;
   ++events_processed_;
+#ifdef DMR_CHECK
+  if (t_dispatch_hook) {
+    t_dispatch_hook(t_dispatch_ctx, ev->t, ev->seq, !ev->handle);
+  }
+#endif
   static const bool trace = std::getenv("DMR_ENGINE_TRACE") != nullptr;
   if (trace && events_processed_ > 500 && events_processed_ < 540) {
     std::fprintf(stderr, "[ev %llu] t=%.9f %s %p\n",

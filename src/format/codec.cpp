@@ -66,8 +66,8 @@ class RleCodec final : public Codec {
         ++lit_len;
       }
       out.push_back(static_cast<std::byte>(lit_len - 1));
-      out.insert(out.end(), input.begin() + lit_start,
-                 input.begin() + lit_start + lit_len);
+      out.insert(out.end(), input.data() + lit_start,
+                 input.data() + lit_start + lit_len);
     }
     return out;
   }
@@ -84,7 +84,7 @@ class RleCodec final : public Codec {
       if (c < 128) {
         const std::size_t len = c + 1;
         if (i + len > n) return corrupt_data("rle: truncated literal run");
-        out.insert(out.end(), input.begin() + i, input.begin() + i + len);
+        out.insert(out.end(), input.data() + i, input.data() + i + len);
         i += len;
       } else {
         if (i >= n) return corrupt_data("rle: truncated repeat");
@@ -119,8 +119,10 @@ class XorDeltaCodec final : public Codec {
       std::memcpy(out.data() + w * 4, &enc, 4);
       prev = cur;
     }
-    std::memcpy(out.data() + words * 4, input.data() + words * 4,
-                input.size() - words * 4);
+    if (input.size() > words * 4) {  // empty span: data() may be null
+      std::memcpy(out.data() + words * 4, input.data() + words * 4,
+                  input.size() - words * 4);
+    }
     return out;
   }
 
@@ -139,8 +141,10 @@ class XorDeltaCodec final : public Codec {
       std::memcpy(out.data() + w * 4, &cur, 4);
       prev = cur;
     }
-    std::memcpy(out.data() + words * 4, input.data() + words * 4,
-                input.size() - words * 4);
+    if (input.size() > words * 4) {  // empty span: data() may be null
+      std::memcpy(out.data() + words * 4, input.data() + words * 4,
+                  input.size() - words * 4);
+    }
     return out;
   }
 };
@@ -226,7 +230,9 @@ class Float16Codec final : public Codec {
       std::memcpy(out.data() + i * 2, &h, 2);
     }
     // Trailing non-float bytes pass through.
-    std::memcpy(out.data() + n * 2, input.data() + n * 4, input.size() % 4);
+    if (input.size() % 4 != 0) {
+      std::memcpy(out.data() + n * 2, input.data() + n * 4, input.size() % 4);
+    }
     return out;
   }
 
@@ -244,7 +250,9 @@ class Float16Codec final : public Codec {
       const float f = half_to_float(h);
       std::memcpy(out.data() + i * 4, &f, 4);
     }
-    std::memcpy(out.data() + n * 4, input.data() + n * 2, tail);
+    if (tail != 0) {
+      std::memcpy(out.data() + n * 4, input.data() + n * 2, tail);
+    }
     return out;
   }
 };

@@ -137,7 +137,7 @@ class LzCodec final : public Codec {
         const std::size_t len = tag;
         if (len == 0) return corrupt_data("lz: zero-length literal run");
         if (i + len > n) return corrupt_data("lz: truncated literals");
-        out.insert(out.end(), input.begin() + i, input.begin() + i + len);
+        out.insert(out.end(), input.data() + i, input.data() + i + len);
         i += len;
       }
       if (out.size() > hint) return corrupt_data("lz: output exceeds hint");

@@ -2,13 +2,22 @@
 
 namespace dmr::shm {
 
-void EventQueue::push(const Message& msg) {
+bool EventQueue::push(const Message& msg) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++dropped_;
+      // Observed under the lock so publish/consume hooks of distinct
+      // messages are seen in queue order.
+      if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/false);
+      return false;
+    }
     queue_.push_back(msg);
     ++pushed_;
+    if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/true);
   }
   cv_.notify_one();
+  return true;
 }
 
 std::optional<Message> EventQueue::pop() {
@@ -17,6 +26,7 @@ std::optional<Message> EventQueue::pop() {
   if (queue_.empty()) return std::nullopt;
   Message m = queue_.front();
   queue_.pop_front();
+  if (ShmObserver* o = observer()) o->on_pop(m);
   return m;
 }
 
@@ -25,13 +35,16 @@ std::optional<Message> EventQueue::try_pop() {
   if (queue_.empty()) return std::nullopt;
   Message m = queue_.front();
   queue_.pop_front();
+  if (ShmObserver* o = observer()) o->on_pop(m);
   return m;
 }
 
 void EventQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
     closed_ = true;
+    if (ShmObserver* o = observer()) o->on_close();
   }
   cv_.notify_all();
 }
@@ -49,6 +62,11 @@ std::size_t EventQueue::size() const {
 std::uint64_t EventQueue::pushed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pushed_;
+}
+
+std::uint64_t EventQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 }  // namespace dmr::shm

@@ -5,6 +5,13 @@
 // event processing engine (EPE) pops them. Multi-producer (all compute
 // cores), single-consumer (the dedicated core). Bounded-less: the queue
 // holds small descriptors only — bulk data lives in the SharedBuffer.
+//
+// Close/drain protocol: close() marks the queue closed and wakes every
+// blocked popper. Messages already queued are still drained in FIFO
+// order; once empty, pop() returns nullopt. A push() after close() is
+// dropped (counted in dropped()) — the server is shutting down and
+// would never consume it, so accepting it would leak its shared-memory
+// block.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "shm/observer.hpp"
 #include "shm/shared_buffer.hpp"
 
 namespace dmr::shm {
@@ -42,8 +50,9 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Enqueues a message (never blocks).
-  void push(const Message& msg);
+  /// Enqueues a message (never blocks). Returns false — and drops the
+  /// message — when the queue is already closed.
+  bool push(const Message& msg);
 
   /// Pops the oldest message, blocking until one is available or
   /// `close()` is called. Returns nullopt only after close() with an
@@ -54,7 +63,7 @@ class EventQueue {
   std::optional<Message> try_pop();
 
   /// Wakes all poppers; pop() drains remaining messages, then returns
-  /// nullopt.
+  /// nullopt. Idempotent.
   void close();
 
   bool closed() const;
@@ -63,12 +72,32 @@ class EventQueue {
   /// Total messages ever pushed (for stats).
   std::uint64_t pushed() const;
 
+  /// Messages dropped because they were pushed after close().
+  std::uint64_t dropped() const;
+
+  /// Attaches (or detaches, with nullptr) a protocol observer. The
+  /// observer must outlive the queue or be detached first. Effective
+  /// only in DMR_CHECK builds.
+  void set_observer(ShmObserver* obs) {
+    observer_.store(obs, std::memory_order_release);
+  }
+
  private:
+  ShmObserver* observer() const {
+#ifdef DMR_CHECK
+    return observer_.load(std::memory_order_acquire);
+#else
+    return nullptr;
+#endif
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
   std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::atomic<ShmObserver*> observer_{nullptr};
 };
 
 }  // namespace dmr::shm

@@ -1,0 +1,59 @@
+// Instrumentation hooks for the shared-memory layer.
+//
+// The client/server handoff (paper §III-B: allocate in the shared
+// buffer, write, publish through the event queue, consume, release) is
+// exactly the kind of cross-thread protocol that fails silently: a
+// double release corrupts the free list, a write after publish races
+// the server's read. An ShmObserver sees every step of that protocol
+// and can maintain shadow state to detect misuse — see
+// check/protocol_checker.hpp for the implementation.
+//
+// Hooks are compiled in only when DMR_CHECK is defined (the default
+// build; benchmarks configure with -DDMR_CHECK=OFF). With DMR_CHECK on
+// but no observer attached, the cost per operation is one relaxed
+// atomic load and a predictable branch.
+//
+// Ordering guarantees relied upon by checkers:
+//  - on_allocate / on_write run on the owning client's thread before
+//    the block is visible to anyone else;
+//  - on_push runs under the queue lock, so it happens-before the
+//    matching on_pop;
+//  - on_deallocate runs *before* the bytes are returned to the
+//    allocator, so a release is always observed before any re-use of
+//    the same offset.
+#pragma once
+
+#include <cstdint>
+
+namespace dmr::shm {
+
+struct Block;
+struct Message;
+
+class ShmObserver {
+ public:
+  virtual ~ShmObserver() = default;
+
+  // --- SharedBuffer ---
+  /// A block was just reserved for its client.
+  virtual void on_allocate(const Block& block) { (void)block; }
+  /// The owning client finished writing the block's payload
+  /// (SharedBuffer::note_write).
+  virtual void on_write(const Block& block) { (void)block; }
+  /// The block is about to be returned to the allocator.
+  virtual void on_deallocate(const Block& block) { (void)block; }
+
+  // --- EventQueue ---
+  /// A message was offered to the queue. `accepted` is false when the
+  /// queue was already closed and the message was dropped.
+  virtual void on_push(const Message& msg, bool accepted) {
+    (void)msg;
+    (void)accepted;
+  }
+  /// A message was handed to a consumer (pop or try_pop).
+  virtual void on_pop(const Message& msg) { (void)msg; }
+  /// The queue was closed.
+  virtual void on_close() {}
+};
+
+}  // namespace dmr::shm

@@ -47,13 +47,22 @@ Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {
   if (client_id < 0 || client_id >= num_clients_) {
     return invalid_argument("client_id out of range");
   }
-  return policy_ == AllocPolicy::kMutexFirstFit
-             ? allocate_first_fit(size, client_id)
-             : allocate_partitioned(size, client_id);
+  Result<Block> r = policy_ == AllocPolicy::kMutexFirstFit
+                        ? allocate_first_fit(size, client_id)
+                        : allocate_partitioned(size, client_id);
+  // The block is still private to the allocating thread here, so the
+  // observer sees the allocation before anyone can touch the bytes.
+  if (r.is_ok()) {
+    if (ShmObserver* o = observer()) o->on_allocate(r.value());
+  }
+  return r;
 }
 
 void SharedBuffer::deallocate(const Block& block) {
   if (!block.valid()) return;
+  // Observed *before* the bytes return to the allocator: a release is
+  // always seen before any re-allocation of the same offset.
+  if (ShmObserver* o = observer()) o->on_deallocate(block);
   if (policy_ == AllocPolicy::kMutexFirstFit) {
     deallocate_first_fit(block);
   } else {

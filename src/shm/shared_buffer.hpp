@@ -25,6 +25,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "shm/observer.hpp"
 
 namespace dmr::shm {
 
@@ -60,6 +61,20 @@ class SharedBuffer {
   /// Returns a block to the buffer. Safe to call from any thread.
   void deallocate(const Block& block);
 
+  /// Declares that the owning client finished writing `block`'s
+  /// payload. Pure instrumentation: forwards to the attached observer
+  /// (protocol checker) and is otherwise a no-op.
+  void note_write(const Block& block) {
+    if (ShmObserver* o = observer()) o->on_write(block);
+  }
+
+  /// Attaches (or detaches, with nullptr) a protocol observer. The
+  /// observer must outlive the buffer or be detached first. Effective
+  /// only in DMR_CHECK builds.
+  void set_observer(ShmObserver* obs) {
+    observer_.store(obs, std::memory_order_release);
+  }
+
   /// Pointer to the block's memory.
   std::byte* data(const Block& block) {
     return memory_.get() + block.offset;
@@ -82,6 +97,14 @@ class SharedBuffer {
   }
 
  private:
+  ShmObserver* observer() const {
+#ifdef DMR_CHECK
+    return observer_.load(std::memory_order_acquire);
+#else
+    return nullptr;
+#endif
+  }
+
   Result<Block> allocate_first_fit(Bytes size, int client_id);
   Result<Block> allocate_partitioned(Bytes size, int client_id);
   void deallocate_first_fit(const Block& block);
@@ -97,6 +120,7 @@ class SharedBuffer {
   std::atomic<Bytes> used_{0};
   std::atomic<Bytes> peak_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<ShmObserver*> observer_{nullptr};
 
   // --- first-fit state (mutex-protected) ---
   std::mutex mutex_;

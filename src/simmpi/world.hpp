@@ -84,8 +84,6 @@ class World {
   double my_value_pending_ = 0.0;
   std::size_t arrived_ = 0;
   std::vector<std::coroutine_handle<>> reduce_waiters_;
-
-  friend struct ReduceAwaiter;
 };
 
 }  // namespace dmr::simmpi

@@ -139,11 +139,11 @@ INSTANTIATE_TEST_SUITE_P(AllLossless, CodecRoundTrip,
                          ::testing::Values(CodecId::kIdentity, CodecId::kRle,
                                            CodecId::kLz, CodecId::kXorDelta,
                                            CodecId::kHuffman),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               codec_for(info.param)->name() == "xor-delta"
+                               codec_for(param_info.param)->name() == "xor-delta"
                                    ? "xor_delta"
-                                   : codec_for(info.param)->name());
+                                   : codec_for(param_info.param)->name());
                          });
 
 TEST(Rle, CompressesRuns) {

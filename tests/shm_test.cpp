@@ -296,6 +296,68 @@ TEST(EventQueue, CloseDrainsThenEnds) {
   EXPECT_FALSE(q.pop().has_value());  // then reports closed
 }
 
+TEST(EventQueue, PushAfterCloseIsDropped) {
+  EventQueue q;
+  Message before;
+  before.iteration = 1;
+  EXPECT_TRUE(q.push(before));
+  q.close();
+  Message after;
+  after.iteration = 2;
+  EXPECT_FALSE(q.push(after));  // dropped, not queued
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.pushed(), 1u);  // only the pre-close message counts
+  auto m = q.pop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->iteration, 1);
+  EXPECT_FALSE(q.pop().has_value());  // the dropped message never appears
+}
+
+TEST(EventQueue, CloseWakesAllBlockedPoppers) {
+  EventQueue q;
+  constexpr int kPoppers = 4;
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < kPoppers; ++i) {
+    poppers.emplace_back([&] {
+      if (!q.pop().has_value()) woke_empty.fetch_add(1);
+    });
+  }
+  // Give every popper a chance to block on the condvar, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(woke_empty.load(), kPoppers);
+}
+
+TEST(EventQueue, DrainAfterClosePreservesFifoOrder) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.iteration = i;
+    q.push(m);
+  }
+  q.close();
+  EXPECT_TRUE(q.closed());
+  for (int i = 0; i < 10; ++i) {
+    auto m = q.pop();
+    ASSERT_TRUE(m.has_value()) << "message " << i << " lost by close()";
+    EXPECT_EQ(m->iteration, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(EventQueue, CloseIsIdempotent) {
+  EventQueue q;
+  Message m;
+  q.push(m);
+  q.close();
+  q.close();  // second close must not disturb the drain
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 TEST(EventQueue, MultiProducerCountsMatch) {
   EventQueue q;
   constexpr int kProducers = 8;
