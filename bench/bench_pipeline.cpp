@@ -1,0 +1,168 @@
+// Performance-trajectory harness: one run, one machine-readable
+// BENCH_pipeline.json. Future PRs diff this file against the previous
+// build to catch regressions in
+//   - the real shm write path (micro_shm's allocate+memcpy+notify loop),
+//   - the DES engine's event dispatch rate (micro_des's timer loop),
+//   - the fig6 Kraken scenario: aggregate GB/s per strategy plus the
+//     per-stage ns/op and byte flow of the staged write pipeline.
+//
+// Usage: bench_pipeline [output.json]   (default: BENCH_pipeline.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "des/engine.hpp"
+#include "des/process.hpp"
+#include "experiments/experiments.hpp"
+#include "iopath/metrics.hpp"
+#include "shm/event_queue.hpp"
+#include "shm/shared_buffer.hpp"
+#include "strategies/strategy.hpp"
+
+namespace {
+
+using namespace dmr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One full client-side df_write (micro_shm's BM_DamarisWritePath),
+/// drained inline: returns wall ns per operation.
+double shm_write_path_ns(Bytes size, int iters) {
+  shm::SharedBuffer buf(256 * MiB, shm::AllocPolicy::kPartitioned, 1);
+  shm::EventQueue queue;
+  std::vector<std::byte> payload(size, std::byte{0x5A});
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto b = buf.allocate(size, 0);
+    std::memcpy(buf.data(b.value()), payload.data(), size);
+    shm::Message m;
+    m.type = shm::MessageType::kWriteNotification;
+    m.block = b.value();
+    queue.push(m);
+    auto got = queue.try_pop();
+    buf.deallocate(got->block);
+  }
+  return seconds_since(t0) * 1e9 / iters;
+}
+
+/// DES timer-event dispatch cost (micro_des's BM_EngineTimerEvents):
+/// returns wall ns per dispatched event.
+double des_timer_event_ns(int events) {
+  des::Engine eng;
+  eng.spawn([](des::Engine& e, int n) -> des::Process {
+    for (int i = 0; i < n; ++i) co_await e.delay(1.0);
+  }(eng, events));
+  const auto t0 = Clock::now();
+  eng.run();
+  return seconds_since(t0) * 1e9 / events;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string stage_json(const iopath::PipelineStats& st) {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < iopath::kNumStageKinds; ++i) {
+    const auto kind = static_cast<iopath::StageKind>(i);
+    const iopath::StageCounters& c = st.of(kind);
+    if (c.ops == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::string(iopath::stage_name(kind)) + "\": {";
+    out += "\"ops\": " + std::to_string(c.ops);
+    out += ", \"sim_seconds\": " + json_num(c.seconds);
+    out += ", \"ns_per_op\": " + json_num(c.mean_seconds() * 1e9);
+    out += ", \"max_ns\": " + json_num(c.max_seconds * 1e9);
+    out += ", \"bytes_in\": " + std::to_string(c.bytes_in);
+    out += ", \"bytes_out\": " + std::to_string(c.bytes_out);
+    out += ", \"gb_per_s\": " + json_num(c.bytes_per_second() / 1e9);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  dmr::bench::banner(
+      "bench_pipeline: write-pipeline performance trajectory",
+      "micro_shm / micro_des / fig6 (throughput, Kraken)",
+      "per-stage ns/op and aggregate GB/s, diffable across PRs");
+
+  std::string json = "{\n  \"schema\": \"dmr-bench-pipeline-v1\",\n";
+
+  // --- micro_shm: the real write path at the paper's payload sizes ---
+  json += "  \"micro_shm\": {\n    \"damaris_write_path\": [\n";
+  const Bytes sizes[] = {64 * KiB, 1 * MiB, 24 * MiB};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const int iters = sizes[i] >= 24 * MiB ? 50 : 2000;
+    const double ns = shm_write_path_ns(sizes[i], iters);
+    const double gbs = static_cast<double>(sizes[i]) / ns;  // B/ns == GB/s
+    std::printf("shm write path %8llu B: %10.0f ns/op  %6.2f GB/s\n",
+                static_cast<unsigned long long>(sizes[i]), ns, gbs);
+    json += "      {\"bytes\": " + std::to_string(sizes[i]) +
+            ", \"ns_per_op\": " + json_num(ns) +
+            ", \"gb_per_s\": " + json_num(gbs) + "}";
+    json += (i + 1 < 3) ? ",\n" : "\n";
+  }
+  json += "    ]\n  },\n";
+
+  // --- micro_des: event dispatch rate bounding big experiments ---
+  const double ev_ns = des_timer_event_ns(200000);
+  std::printf("des timer event: %.0f ns/event\n", ev_ns);
+  json += "  \"micro_des\": {\"timer_event_ns\": " + json_num(ev_ns) + "},\n";
+
+  // --- fig6: aggregate throughput + pipeline stage profile ---
+  using strategies::StrategyKind;
+  json += "  \"fig6\": [\n";
+  const struct {
+    const char* name;
+    StrategyKind kind;
+  } runs[] = {
+      {"file-per-process", StrategyKind::kFilePerProcess},
+      {"collective-io", StrategyKind::kCollectiveIo},
+      {"damaris", StrategyKind::kDamaris},
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto t0 = Clock::now();
+    const strategies::RunResult res = strategies::run_strategy(
+        experiments::kraken_config(runs[i].kind, /*cores=*/576,
+                                   /*iterations=*/5, /*write_interval=*/1));
+    const double wall = seconds_since(t0);
+    std::printf("fig6 %-17s %7s GiB/s  (sim %.1f s, wall %.2f s)\n",
+                runs[i].name,
+                dmr::bench::gib_per_s(res.aggregate_throughput).c_str(),
+                res.total_runtime, wall);
+    json += "    {\"strategy\": \"" + std::string(runs[i].name) + "\"";
+    json += ", \"cores\": " + std::to_string(res.total_cores);
+    json += ", \"aggregate_gb_per_s\": " +
+            json_num(res.aggregate_throughput / 1e9);
+    json += ", \"sim_runtime_s\": " + json_num(res.total_runtime);
+    json += ", \"wall_s\": " + json_num(wall);
+    json += ", \"stages\": " + stage_json(res.stage_stats) + "}";
+    json += (i + 1 < 3) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The single pre-merge gate: tier-1 build + full ctest, then the
+# correctness matrix of scripts/check.sh (lint + sanitizers), then the
+# performance-trajectory snapshot.
+#
+#   scripts/ci.sh               # tier-1 + lint + ASan + UBSan
+#   scripts/ci.sh --fast        # tier-1 + lint + ASan (quick local loop)
+#   scripts/ci.sh --tsan        # ... plus the threaded suites under TSan
+#   scripts/ci.sh --no-bench    # skip the BENCH_pipeline.json snapshot
+#
+# Extra flags are passed through to scripts/check.sh. Exits non-zero on
+# the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+RUN_BENCH=1
+CHECK_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) RUN_BENCH=0 ;;
+    *) CHECK_ARGS+=("$arg") ;;
+  esac
+done
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+# ------------------------------------------------------- tier-1: ctest
+# The plain-build test run every PR must keep green (ROADMAP.md).
+step "tier-1 build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+step "tier-1 ctest"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# --------------------------------------- correctness: lint + sanitizers
+step "scripts/check.sh ${CHECK_ARGS[*]:-}"
+scripts/check.sh ${CHECK_ARGS[@]+"${CHECK_ARGS[@]}"}
+
+# ------------------------------------------- performance trajectory
+# One diffable JSON per run; compare against the previous PR's snapshot
+# to spot pipeline-stage or substrate regressions.
+if [ "$RUN_BENCH" = 1 ]; then
+  step "bench_pipeline -> build/BENCH_pipeline.json"
+  cmake --build build -j "$JOBS" --target bench_pipeline
+  ./build/bench/bench_pipeline build/BENCH_pipeline.json
+fi
+
+step "ci green"

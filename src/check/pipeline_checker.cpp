@@ -1,0 +1,102 @@
+#include "check/pipeline_checker.hpp"
+
+namespace dmr::check {
+
+std::string_view pipeline_violation_name(PipelineViolationKind k) {
+  switch (k) {
+    case PipelineViolationKind::kOutOfOrderStage: return "out-of-order-stage";
+    case PipelineViolationKind::kResizeOutsideTransform:
+      return "resize-outside-transform";
+    case PipelineViolationKind::kGrowingTransform: return "growing-transform";
+    case PipelineViolationKind::kNegativeDuration: return "negative-duration";
+  }
+  return "?";
+}
+
+std::string PipelineViolation::to_string() const {
+  std::string s(pipeline_violation_name(kind));
+  s += ": request[source=" + std::to_string(source) +
+       " phase=" + std::to_string(phase) + "] stage=" +
+       iopath::stage_name(stage);
+  if (!detail.empty()) s += " (" + detail + ")";
+  return s;
+}
+
+void StageOrderChecker::on_request_begin(const iopath::WriteRequest& req) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_stage_[{req.source, req.phase}] = -1;
+}
+
+void StageOrderChecker::on_stage_end(iopath::StageKind kind,
+                                     const iopath::WriteRequest& req,
+                                     SimTime seconds, Bytes bytes_in,
+                                     Bytes bytes_out) {
+  if (seconds < 0.0) {
+    record(PipelineViolationKind::kNegativeDuration, req, kind,
+           "duration " + std::to_string(seconds) + "s");
+  }
+  if (bytes_out != bytes_in) {
+    if (kind != iopath::StageKind::kTransform) {
+      record(PipelineViolationKind::kResizeOutsideTransform, req, kind,
+             std::to_string(bytes_in) + " -> " + std::to_string(bytes_out) +
+                 " bytes");
+    } else if (bytes_out > bytes_in) {
+      record(PipelineViolationKind::kGrowingTransform, req, kind,
+             std::to_string(bytes_in) + " -> " + std::to_string(bytes_out) +
+                 " bytes");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  int& last = last_stage_[{req.source, req.phase}];
+  const int idx = iopath::stage_index(kind);
+  if (idx < last) {
+    violations_.push_back(PipelineViolation{
+        PipelineViolationKind::kOutOfOrderStage, req.source, req.phase, kind,
+        std::string(iopath::stage_name(kind)) + " after " +
+            iopath::stage_name(static_cast<iopath::StageKind>(last))});
+  } else {
+    last = idx;
+  }
+}
+
+void StageOrderChecker::on_request_end(const iopath::WriteRequest& req) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_stage_.erase({req.source, req.phase});
+  ++requests_;
+}
+
+void StageOrderChecker::record(PipelineViolationKind kind,
+                               const iopath::WriteRequest& req,
+                               iopath::StageKind stage, std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  violations_.push_back(PipelineViolation{kind, req.source, req.phase, stage,
+                                          std::move(detail)});
+}
+
+std::vector<PipelineViolation> StageOrderChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return violations_;
+}
+
+std::size_t StageOrderChecker::violation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return violations_.size();
+}
+
+std::uint64_t StageOrderChecker::requests_checked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+std::string StageOrderChecker::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (violations_.empty()) return "pipeline clean";
+  std::string out;
+  for (const PipelineViolation& v : violations_) {
+    out += v.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dmr::check

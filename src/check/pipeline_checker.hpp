@@ -1,0 +1,85 @@
+// Write-pipeline protocol checker.
+//
+// The staged write path (src/iopath/) has an ordering invariant that
+// mirrors the shm block lifecycle checked by ProtocolChecker: a
+// WriteRequest traverses stage kinds monotonically in the canonical
+// order Ingest → Transform → Schedule → Transport → Storage, and only a
+// Transform stage may change the payload size. A composition that
+// violates this (e.g. compressing after the bytes already hit storage,
+// or a scheduler that reorders behind the storage stage) produces
+// numbers that silently stop meaning what the figures claim.
+//
+// StageOrderChecker is an iopath::PipelineObserver in the exact mould
+// of the shm checker: attach it with WritePipeline::set_observer, run
+// the workload, then read violations() / report(). It records, never
+// crashes.
+//
+//   check::StageOrderChecker chk;
+//   pipeline.set_observer(&chk);
+//   ... run the experiment ...
+//   assert(chk.violation_count() == 0);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "iopath/stage.hpp"
+
+namespace dmr::check {
+
+enum class PipelineViolationKind {
+  kOutOfOrderStage,    // stage kind lower than one already traversed
+  kResizeOutsideTransform,  // payload changed in a non-Transform stage
+  kGrowingTransform,   // a Transform stage *grew* the payload
+  kNegativeDuration,   // stage reported a negative simulated duration
+};
+
+std::string_view pipeline_violation_name(PipelineViolationKind k);
+
+struct PipelineViolation {
+  PipelineViolationKind kind{};
+  int source = -1;  // rank / writer id of the request
+  int phase = -1;
+  iopath::StageKind stage{};
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class StageOrderChecker : public iopath::PipelineObserver {
+ public:
+  StageOrderChecker() = default;
+
+  StageOrderChecker(const StageOrderChecker&) = delete;
+  StageOrderChecker& operator=(const StageOrderChecker&) = delete;
+
+  // --- iopath::PipelineObserver ---
+  void on_request_begin(const iopath::WriteRequest& req) override;
+  void on_stage_end(iopath::StageKind kind, const iopath::WriteRequest& req,
+                    SimTime seconds, Bytes bytes_in,
+                    Bytes bytes_out) override;
+  void on_request_end(const iopath::WriteRequest& req) override;
+
+  std::vector<PipelineViolation> violations() const;
+  std::size_t violation_count() const;
+  /// Requests fully traversed (begin + end seen).
+  std::uint64_t requests_checked() const;
+
+  /// Human-readable multi-line summary ("pipeline clean" when empty).
+  std::string report() const;
+
+ private:
+  void record(PipelineViolationKind kind, const iopath::WriteRequest& req,
+              iopath::StageKind stage, std::string detail);
+
+  mutable std::mutex mutex_;
+  /// Highest stage kind seen so far per in-flight (source, phase).
+  std::map<std::pair<int, int>, int> last_stage_;
+  std::vector<PipelineViolation> violations_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace dmr::check

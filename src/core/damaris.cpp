@@ -135,6 +135,16 @@ ServerStats DamarisNode::stats() const {
     s.persistency.datasets_written += p.datasets_written;
     s.persistency.raw_bytes += p.raw_bytes;
     s.persistency.stored_bytes += p.stored_bytes;
+    s.stages.merge(shard->persistency.stage_stats());
+  }
+  // Ingest is what the clients paid to hand their data over.
+  for (const ClientStats& c : client_stats_) {
+    iopath::StageCounters& ingest = s.stages.of(iopath::StageKind::kIngest);
+    ingest.ops += c.writes;
+    ingest.seconds += c.write_seconds;
+    ingest.max_seconds = std::max(ingest.max_seconds, c.max_write_seconds);
+    ingest.bytes_in += c.bytes_written;
+    ingest.bytes_out += c.bytes_written;
   }
   return s;
 }

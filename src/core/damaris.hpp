@@ -90,6 +90,11 @@ struct ServerStats {
   std::uint64_t protocol_violations = 0;
   PersistencyStats persistency;
 
+  /// Per-stage wall-clock counters of the node's write path: Ingest is
+  /// the client-side shm handoff (allocate + memcpy + notify), Transform
+  /// and Storage come from the persistency layer of every shard.
+  iopath::PipelineStats stages;
+
   /// Fraction of time the dedicated cores were idle — the paper's
   /// "spare time" (75%–99% in §IV-C2).
   double spare_fraction() const {

@@ -1,25 +1,26 @@
 #include "core/persistency.hpp"
 
+#include <chrono>
 #include <filesystem>
-
-#include "format/pipeline.hpp"
 
 namespace dmr::core {
 
 namespace {
 
-format::Pipeline pipeline_for(const config::Config& cfg,
-                              const std::string& variable) {
-  const config::VariableDecl* decl = cfg.find_variable(variable);
-  if (!decl || decl->pipeline.empty()) return format::Pipeline::identity();
-  if (decl->pipeline == "lossless") return format::Pipeline::lossless();
-  if (decl->pipeline == "visualization") {
-    return format::Pipeline::visualization();
-  }
-  return format::Pipeline::identity();
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
 }  // namespace
+
+iopath::CompressionModel compression_model_for(const config::Config& cfg,
+                                               const std::string& variable) {
+  const config::VariableDecl* decl = cfg.find_variable(variable);
+  return iopath::CompressionModel::for_pipeline_name(decl ? decl->pipeline
+                                                          : "");
+}
 
 PersistencyLayer::PersistencyLayer(std::string output_dir, std::string prefix,
                                    int node_id)
@@ -49,14 +50,29 @@ Status PersistencyLayer::write_blocks(
     info.source = b.source;
     info.layout = b.layout;
     const std::span<const std::byte> raw(buffer.data(b.block), b.size);
-    Status s = writer.value().add_dataset(info, raw,
-                                          pipeline_for(cfg, b.variable));
+
+    // Transform: run the variable's codec chain (identity encodes are a
+    // plain copy, so splitting from the container write is lossless).
+    const iopath::CompressionModel model =
+        compression_model_for(cfg, b.variable);
+    auto t0 = Clock::now();
+    format::EncodedBuffer encoded = model.codec_pipeline().encode(raw);
+    stage_stats_.of(iopath::StageKind::kTransform)
+        .add(seconds_since(t0), b.size, encoded.data.size());
+
+    // Storage: append the encoded dataset to the container.
+    t0 = Clock::now();
+    Status s = writer.value().add_encoded(info, encoded, raw.size());
+    stage_stats_.of(iopath::StageKind::kStorage)
+        .add(seconds_since(t0), encoded.data.size(), encoded.data.size());
     if (!s.is_ok()) return s;
     ++stats_.datasets_written;
   }
   stats_.raw_bytes += writer.value().raw_bytes();
   stats_.stored_bytes += writer.value().stored_bytes();
+  const auto t0 = Clock::now();
   Status s = writer.value().finalize();
+  stage_stats_.of(iopath::StageKind::kStorage).add(seconds_since(t0), 0, 0);
   if (!s.is_ok()) return s;
   ++stats_.files_written;
   return Status::ok();

@@ -12,6 +12,8 @@
 #include "config/config.hpp"
 #include "core/metadata.hpp"
 #include "format/dh5.hpp"
+#include "iopath/compression_model.hpp"
+#include "iopath/metrics.hpp"
 #include "shm/shared_buffer.hpp"
 
 namespace dmr::core {
@@ -50,11 +52,21 @@ class PersistencyLayer {
 
   const PersistencyStats& stats() const { return stats_; }
 
+  /// Wall-clock per-stage counters of this layer: Transform is codec
+  /// encode time, Storage is container write + finalize time.
+  const iopath::PipelineStats& stage_stats() const { return stage_stats_; }
+
  private:
   std::string output_dir_;
   std::string prefix_;
   int node_id_;
   PersistencyStats stats_;
+  iopath::PipelineStats stage_stats_;
 };
+
+/// Compression treatment configured for `variable` ("" / "lossless" /
+/// "visualization"), resolved through the shared CompressionModel.
+iopath::CompressionModel compression_model_for(const config::Config& cfg,
+                                               const std::string& variable);
 
 }  // namespace dmr::core

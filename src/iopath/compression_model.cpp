@@ -1,0 +1,29 @@
+#include "iopath/compression_model.hpp"
+
+namespace dmr::iopath {
+
+CompressionModel CompressionModel::for_pipeline_name(std::string_view name) {
+  if (name == "lossless") return lossless();
+  if (name == "visualization") return visualization();
+  return none();
+}
+
+format::Pipeline CompressionModel::codec_pipeline() const {
+  switch (kind_) {
+    case Kind::kNone: return format::Pipeline::identity();
+    case Kind::kLossless: return format::Pipeline::lossless();
+    case Kind::kVisualization: return format::Pipeline::visualization();
+  }
+  return format::Pipeline::identity();
+}
+
+const char* CompressionModel::name() const {
+  switch (kind_) {
+    case Kind::kNone: return "none";
+    case Kind::kLossless: return "lossless";
+    case Kind::kVisualization: return "visualization";
+  }
+  return "?";
+}
+
+}  // namespace dmr::iopath

@@ -1,0 +1,89 @@
+// The shared compression cost/codec model (paper §IV-D "Compression").
+//
+// The paper measures two data-reduction treatments on the dedicated
+// core: lossless gzip (187% ratio at ~45 MiB/s per 2012 Opteron core)
+// and a 16-bit precision reduction for visualization dumps in front of
+// the lossless chain (~600% total, and halving the data first makes the
+// lossless stage proportionally faster, ~70 MiB/s).
+//
+// Those four constants used to be copy-pasted into DamarisOptions,
+// RunConfig's file-per-process fields and the real runtime's pipeline
+// resolution. CompressionModel is the single source of truth: the DES
+// world uses it as a *cost model* (cpu_seconds / stored_bytes) and the
+// real runtime maps it to the *actual codec chain* (codec_pipeline).
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+#include "format/pipeline.hpp"
+
+namespace dmr::iopath {
+
+/// Gzip-class lossless compression on CM1 fields (paper: 187%).
+inline constexpr double kGzipRatio = 1.87;
+/// Gzip throughput of one 2012 Opteron core.
+inline constexpr double kGzipRate = 45.0 * static_cast<double>(MiB);
+/// 16-bit precision reduction + lossless chain (paper: "600%").
+inline constexpr double kPrecision16Ratio = 6.0;
+/// The halved input makes the lossless stage proportionally faster.
+inline constexpr double kPrecision16Rate = 70.0 * static_cast<double>(MiB);
+
+class CompressionModel {
+ public:
+  enum class Kind {
+    kNone,           // raw pass-through
+    kLossless,       // gzip stand-in (xor-delta + LZ + Huffman)
+    kVisualization,  // float16 in front of the lossless chain
+  };
+
+  CompressionModel() = default;
+
+  static CompressionModel none() { return CompressionModel(); }
+  static CompressionModel lossless(double ratio = kGzipRatio,
+                                   double rate = kGzipRate) {
+    return CompressionModel(Kind::kLossless, ratio, rate);
+  }
+  static CompressionModel visualization(double ratio = kPrecision16Ratio,
+                                        double rate = kPrecision16Rate) {
+    return CompressionModel(Kind::kVisualization, ratio, rate);
+  }
+
+  /// Resolves a configured per-variable pipeline name ("", "lossless",
+  /// "visualization") — the mapping the real runtime's persistency
+  /// layer applies. Unknown names resolve to none().
+  static CompressionModel for_pipeline_name(std::string_view name);
+
+  Kind kind() const { return kind_; }
+  bool active() const { return kind_ != Kind::kNone; }
+  /// Expected size reduction factor (stored = raw / ratio).
+  double ratio() const { return ratio_; }
+  /// CPU throughput of the encode, bytes per second.
+  double rate() const { return rate_; }
+
+  /// CPU seconds one core spends encoding `raw` bytes (0 if inactive).
+  SimTime cpu_seconds(Bytes raw) const {
+    return active() ? static_cast<double>(raw) / rate_ : 0.0;
+  }
+
+  /// Bytes that reach storage after encoding `raw` bytes.
+  Bytes stored_bytes(Bytes raw) const {
+    return active() ? static_cast<Bytes>(static_cast<double>(raw) / ratio_)
+                    : raw;
+  }
+
+  /// The codec chain the real runtime runs for this treatment.
+  format::Pipeline codec_pipeline() const;
+
+  const char* name() const;
+
+ private:
+  CompressionModel(Kind kind, double ratio, double rate)
+      : kind_(kind), ratio_(ratio), rate_(rate) {}
+
+  Kind kind_ = Kind::kNone;
+  double ratio_ = 1.0;
+  double rate_ = 0.0;
+};
+
+}  // namespace dmr::iopath

@@ -1,0 +1,30 @@
+#include "iopath/pipeline.hpp"
+
+namespace dmr::iopath {
+
+WritePipeline& WritePipeline::add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+des::Task<void> WritePipeline::process(WriteRequest& req) {
+  req.bytes = req.raw_bytes;
+  if (observer_) observer_->on_request_begin(req);
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    const Bytes bytes_in = req.bytes;
+    const SimTime t0 = eng_->now();
+    co_await stage->run(req);
+    const SimTime dt = eng_->now() - t0;
+    req.stage_seconds[stage_index(stage->kind())] += dt;
+    stats_.of(stage->kind()).add(dt, bytes_in, req.bytes);
+    if (observer_) {
+      observer_->on_stage_end(stage->kind(), req, dt, bytes_in, req.bytes);
+    }
+  }
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    (*it)->complete(req);
+  }
+  if (observer_) observer_->on_request_end(req);
+}
+
+}  // namespace dmr::iopath

@@ -1,0 +1,53 @@
+// WritePipeline — an ordered stage composition plus its instrumentation.
+//
+// process() drives one WriteRequest through every stage in order,
+// measuring each stage's simulated duration and byte flow, then runs
+// the stages' complete() epilogues in reverse order (so a Schedule
+// stage's token outlives the Storage stage it gates). Observers see
+// every stage boundary.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "iopath/metrics.hpp"
+#include "iopath/stage.hpp"
+
+namespace dmr::iopath {
+
+class WritePipeline {
+ public:
+  explicit WritePipeline(des::Engine& eng) : eng_(&eng) {}
+
+  WritePipeline(const WritePipeline&) = delete;
+  WritePipeline& operator=(const WritePipeline&) = delete;
+
+  /// Appends a stage; returns *this for chaining.
+  WritePipeline& add(std::unique_ptr<Stage> stage);
+
+  /// Attaches an observer (not owned; null detaches).
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  /// Runs `req` through all stages. Sets req.bytes = req.raw_bytes on
+  /// entry; stages may shrink it. Safe to run many requests
+  /// concurrently (stages share no per-request state).
+  des::Task<void> process(WriteRequest& req);
+
+  bool empty() const { return stages_.empty(); }
+  std::size_t size() const { return stages_.size(); }
+  const std::vector<std::unique_ptr<Stage>>& stages() const {
+    return stages_;
+  }
+
+  /// Counters pooled over every request processed so far.
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  des::Engine* eng_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  PipelineStats stats_;
+  PipelineObserver* observer_ = nullptr;
+};
+
+}  // namespace dmr::iopath

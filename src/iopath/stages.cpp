@@ -1,0 +1,57 @@
+#include "iopath/stages.hpp"
+
+#include "sched/slot_scheduler.hpp"
+
+namespace dmr::iopath {
+
+des::Task<void> ShmIngestStage::run(WriteRequest& req) {
+  const Bytes traffic =
+      factor_ == 1.0 ? req.bytes
+                     : static_cast<Bytes>(static_cast<double>(req.bytes) *
+                                          factor_);
+  co_await req.node->shm_bus().transfer(traffic);
+  const SimTime jitter = req.node->noise().copy_jitter();
+  if (jitter > 0) co_await eng_->delay(jitter);
+}
+
+des::Task<void> RemoteTransportStage::run(WriteRequest& req) {
+  co_await req.node->nic().transfer(req.bytes);
+  co_await machine_->fabric().transfer(req.bytes);
+  co_await req.staging->nic().transfer(req.bytes);
+}
+
+des::Task<void> TransformStage::run(WriteRequest& req) {
+  if (model_.active()) {
+    co_await eng_->delay(model_.cpu_seconds(req.bytes));
+    req.bytes = model_.stored_bytes(req.bytes);
+  }
+}
+
+des::Task<void> ScheduleStage::run(WriteRequest& req) {
+  if (slots_) {
+    const sched::SlotScheduler scheduler(interval_, num_writers_, req.source);
+    co_await eng_->delay(scheduler.slot_start());
+  }
+  if (tokens_) {
+    co_await tokens_->acquire();
+  }
+}
+
+void ScheduleStage::complete(WriteRequest& req) {
+  (void)req;
+  if (tokens_) tokens_->release();
+}
+
+des::Task<void> StorageStage::run(WriteRequest& req) {
+  fs::FileHandle h = co_await fs_->create(req.core, stripe_count_);
+  fs::WriteOptions opts;
+  opts.max_request = max_request_;
+  co_await fs_->write(req.core, h, 0, req.bytes, opts);
+  co_await fs_->close(req.core, h);
+}
+
+des::Task<void> CollectiveWriteStage::run(WriteRequest& req) {
+  co_await writer_->collective_write(req.source, req.bytes);
+}
+
+}  // namespace dmr::iopath

@@ -1,24 +1,21 @@
 #include "sched/slot_scheduler.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace dmr::sched {
 
-SlotScheduler::SlotScheduler(SimTime estimated_iteration, int num_nodes,
-                             int node_id)
-    : estimate_(estimated_iteration), num_nodes_(num_nodes),
-      node_id_(node_id) {
-  assert(num_nodes > 0);
-  assert(node_id >= 0 && node_id < num_nodes);
-  assert(estimated_iteration > 0);
-}
+SlotScheduler::SlotScheduler(SimTime estimated_iteration, int num_slots,
+                             int writer_id)
+    : estimate_(std::max(estimated_iteration, 0.0)),
+      num_slots_(std::max(num_slots, 1)),
+      slot_id_(((writer_id % num_slots_) + num_slots_) % num_slots_) {}
 
 SimTime SlotScheduler::slot_width() const {
-  return estimate_ / static_cast<SimTime>(num_nodes_);
+  return estimate_ / static_cast<SimTime>(num_slots_);
 }
 
 SimTime SlotScheduler::slot_start() const {
-  return slot_width() * static_cast<SimTime>(node_id_);
+  return slot_width() * static_cast<SimTime>(slot_id_);
 }
 
 SimTime SlotScheduler::wait_time(SimTime elapsed) const {
@@ -28,9 +25,10 @@ SimTime SlotScheduler::wait_time(SimTime elapsed) const {
 
 void SlotScheduler::update_estimate(SimTime measured) {
   constexpr double kAlpha = 0.3;
-  if (measured > 0) {
-    estimate_ = (1.0 - kAlpha) * estimate_ + kAlpha * measured;
-  }
+  if (measured <= 0) return;
+  estimate_ = estimate_ <= 0
+                  ? measured
+                  : (1.0 - kAlpha) * estimate_ + kAlpha * measured;
 }
 
 }  // namespace dmr::sched

@@ -8,6 +8,15 @@
 //
 // The paper reports 13.1 GB/s instead of 9.7 GB/s on 2304 Kraken cores
 // with this strategy.
+//
+// Degenerate inputs are handled, not asserted, so the scheduler can sit
+// inside a pipeline stage fed by arbitrary configurations:
+//   - a non-positive iteration estimate collapses every slot to width 0
+//     at offset 0 (nobody waits — scheduling is a no-op until
+//     update_estimate() learns a real duration);
+//   - num_slots < 1 is treated as a single slot spanning the iteration;
+//   - more writers than slots wrap around (writer_id % num_slots), so
+//     surplus writers share slots round-robin instead of crashing.
 #pragma once
 
 #include <cstddef>
@@ -18,15 +27,15 @@ namespace dmr::sched {
 
 class SlotScheduler {
  public:
-  /// `node_id` in [0, num_nodes); `estimated_iteration` is the expected
-  /// time between two write phases (seconds).
-  SlotScheduler(SimTime estimated_iteration, int num_nodes, int node_id);
+  /// `estimated_iteration` is the expected time between two write
+  /// phases (seconds). `writer_id` may exceed `num_slots` (it wraps).
+  SlotScheduler(SimTime estimated_iteration, int num_slots, int writer_id);
 
-  /// Start of this node's slot, as an offset from the beginning of the
-  /// iteration (in [0, estimated_iteration)).
+  /// Start of this writer's slot, as an offset from the beginning of
+  /// the iteration (in [0, estimated_iteration)).
   SimTime slot_start() const;
 
-  /// Width of one slot.
+  /// Width of one slot (0 when the estimate is not yet positive).
   SimTime slot_width() const;
 
   /// How long a dedicated core that became ready `elapsed` seconds after
@@ -35,17 +44,20 @@ class SlotScheduler {
   SimTime wait_time(SimTime elapsed_since_iteration_start) const;
 
   /// Refines the iteration estimate from a measured duration
-  /// (exponential moving average, alpha = 0.3).
+  /// (exponential moving average, alpha = 0.3). Non-positive
+  /// measurements are ignored; the first positive measurement replaces
+  /// a non-positive initial estimate outright.
   void update_estimate(SimTime measured_iteration);
 
   SimTime estimated_iteration() const { return estimate_; }
-  int num_nodes() const { return num_nodes_; }
-  int node_id() const { return node_id_; }
+  int num_slots() const { return num_slots_; }
+  /// The slot this writer lands in after wrapping.
+  int slot_id() const { return slot_id_; }
 
  private:
   SimTime estimate_;
-  int num_nodes_;
-  int node_id_;
+  int num_slots_;
+  int slot_id_;
 };
 
 }  // namespace dmr::sched

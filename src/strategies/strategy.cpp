@@ -11,7 +11,8 @@
 #include "des/engine.hpp"
 #include "des/process.hpp"
 #include "des/task.hpp"
-#include "sched/slot_scheduler.hpp"
+#include "iopath/pipeline.hpp"
+#include "iopath/stages.hpp"
 #include "simmpi/world.hpp"
 
 namespace dmr::strategies {
@@ -41,6 +42,8 @@ double scalability_factor(int cores, double t_n, double c_base) {
 }
 
 namespace {
+
+using iopath::StageKind;
 
 /// Notification a compute core drops in its writer's event queue after
 /// the data has been staged (shared memory, FUSE, or remote buffer).
@@ -72,7 +75,9 @@ class Experiment {
         bytes_per_rank_(cfg.workload.output_bytes_per_rank()),
         num_phases_(cfg.iterations / cfg.workload.write_interval),
         interval_seconds_(cfg.workload.write_interval *
-                          cfg.workload.seconds_per_iteration) {
+                          cfg.workload.seconds_per_iteration),
+        client_pipeline_(eng_),
+        writer_pipeline_(eng_) {
     assert(!is_damaris_ || transport_ == Transport::kDedicatedNodes ||
            (ded_k_ >= 1 && ded_k_ < cfg.platform.node.cores));
     if (cfg_.kind == StrategyKind::kCollectiveIo) {
@@ -89,6 +94,7 @@ class Experiment {
       }
     }
     rank_finish_.assign(world_.size(), 0.0);
+    build_pipelines();
   }
 
   RunResult run() {
@@ -110,6 +116,56 @@ class Experiment {
   }
 
  private:
+  // ------------------------------------------------ stage compositions
+
+  /// Each strategy is a composition of iopath stages; nothing below
+  /// branches on compression or scheduling — those are stages (or
+  /// absent) per the composition built here.
+  ///
+  ///   file-per-process  client: Transform -> Storage
+  ///   collective-io     client: Storage (fused two-phase collective)
+  ///   damaris           client: Ingest (shm / FUSE) or Transport
+  ///                             (dedicated nodes);
+  ///                     writer: Transform -> Schedule -> Storage
+  void build_pipelines() {
+    const DamarisOptions& d = cfg_.damaris;
+    switch (cfg_.kind) {
+      case StrategyKind::kFilePerProcess:
+        // HDF5's gzip filter runs on the compute core, inside the write
+        // phase the application is waiting on; one small single-stripe
+        // file per process with HDF5-chunk-sized requests.
+        client_pipeline_
+            .add(std::make_unique<iopath::TransformStage>(
+                eng_, cfg_.fpp_compression_model()))
+            .add(std::make_unique<iopath::StorageStage>(
+                fs_, /*stripe_count=*/1, cfg_.fpp_request));
+        break;
+      case StrategyKind::kCollectiveIo:
+        client_pipeline_.add(
+            std::make_unique<iopath::CollectiveWriteStage>(*collective_));
+        break;
+      case StrategyKind::kDamaris:
+        if (transport_ == Transport::kDedicatedNodes) {
+          client_pipeline_.add(
+              std::make_unique<iopath::RemoteTransportStage>(machine_));
+        } else {
+          client_pipeline_.add(std::make_unique<iopath::ShmIngestStage>(
+              eng_, transport_ == Transport::kFuse ? d.fuse_slowdown : 1.0));
+        }
+        writer_pipeline_
+            .add(std::make_unique<iopath::TransformStage>(
+                eng_, d.compression_model()))
+            .add(std::make_unique<iopath::ScheduleStage>(
+                eng_, interval_seconds_ > 0 ? interval_seconds_ : 1.0,
+                num_writers(), d.slot_scheduling, write_tokens_.get()))
+            .add(std::make_unique<iopath::StorageStage>(
+                fs_, d.file_stripe_count, d.write_request));
+        break;
+      case StrategyKind::kNoIo:
+        break;
+    }
+  }
+
   // --------------------------------------------------- writer topology
 
   int num_writers() const {
@@ -201,6 +257,8 @@ class Experiment {
       res.aggregate_throughput =
           static_cast<double>(res.bytes_per_phase) / phase_seconds_.mean();
     }
+    res.stage_stats = client_pipeline_.stats();
+    res.stage_stats.merge(writer_pipeline_.stats());
     res.fs_stats = fs_.stats();
     return res;
   }
@@ -211,6 +269,20 @@ class Experiment {
   }
 
   // ------------------------------------------------------ compute ranks
+
+  iopath::WriteRequest client_request(int rank, int phase,
+                                      cluster::Node& node) {
+    iopath::WriteRequest req;
+    req.source = rank;
+    req.core = world_.core_of(rank);
+    req.phase = phase;
+    req.raw_bytes = bytes_per_rank_;
+    req.node = &node;
+    if (transport_ == Transport::kDedicatedNodes) {
+      req.staging = &machine_.node(writer_node(writer_of_rank(rank)));
+    }
+    return req;
+  }
 
   des::Process compute_rank(int rank) {
     cluster::Node& node = world_.node_of_rank(rank);
@@ -226,91 +298,21 @@ class Experiment {
       if (!is_write_iteration(it)) continue;
 
       const SimTime phase_start = eng_.now();
-      switch (cfg_.kind) {
-        case StrategyKind::kFilePerProcess: {
-          co_await fpp_write(rank);
-          rank_write_.add(eng_.now() - phase_start);
-          co_await world_.barrier();  // phase delimited by barriers
-          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
-          break;
-        }
-        case StrategyKind::kCollectiveIo: {
-          co_await collective_->collective_write(rank, bytes_per_rank_);
-          rank_write_.add(eng_.now() - phase_start);
-          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
-          break;
-        }
-        case StrategyKind::kDamaris: {
-          co_await stage_data(rank, node);
-          channels_[writer_of_rank(rank)]->send(
-              PhaseMsg{phase_index, bytes_per_rank_});
-          rank_write_.add(eng_.now() - phase_start);
-          if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
-          break;
-        }
-        case StrategyKind::kNoIo:
-          break;
+      iopath::WriteRequest req = client_request(rank, phase_index, node);
+      co_await client_pipeline_.process(req);
+      if (is_damaris_) {
+        // The handoff is staged; notify this rank's writer and continue.
+        channels_[writer_of_rank(rank)]->send(
+            PhaseMsg{phase_index, bytes_per_rank_});
       }
+      rank_write_.add(eng_.now() - phase_start);
+      if (cfg_.kind == StrategyKind::kFilePerProcess) {
+        co_await world_.barrier();  // phase delimited by barriers
+      }
+      if (rank == 0) phase_seconds_.add(eng_.now() - phase_start);
       ++phase_index;
     }
     rank_finish_[rank] = eng_.now();
-  }
-
-  /// Moves one rank's output to where its writer can see it. This is
-  /// the step whose cost the application perceives as "the write".
-  des::Task<void> stage_data(int rank, cluster::Node& node) {
-    switch (transport_) {
-      case Transport::kSharedMemory: {
-        // One copy into the node's shared buffer, contended only with
-        // the other cores of this node; the copy itself jitters with
-        // memory-bus traffic (the paper's ~0.1 s on the 0.2 s write).
-        co_await node.shm_bus().transfer(bytes_per_rank_);
-        const SimTime jitter = node.noise().copy_jitter();
-        if (jitter > 0) co_await eng_.delay(jitter);
-        break;
-      }
-      case Transport::kFuse: {
-        // The same handoff through a user-space file system: every byte
-        // crosses the kernel, ~10x the bus traffic (§V-B).
-        co_await node.shm_bus().transfer(static_cast<Bytes>(
-            static_cast<double>(bytes_per_rank_) *
-            cfg_.damaris.fuse_slowdown));
-        const SimTime jitter = node.noise().copy_jitter();
-        if (jitter > 0) co_await eng_.delay(jitter);
-        break;
-      }
-      case Transport::kDedicatedNodes: {
-        // Off-node staging: out through this node's NIC (contended by
-        // the sibling ranks), across the fabric, into the staging
-        // node's NIC (contended by every rank of the staging group).
-        cluster::Node& staging =
-            machine_.node(writer_node(writer_of_rank(rank)));
-        co_await node.nic().transfer(bytes_per_rank_);
-        co_await machine_.fabric().transfer(bytes_per_rank_);
-        co_await staging.nic().transfer(bytes_per_rank_);
-        break;
-      }
-    }
-  }
-
-  des::Task<void> fpp_write(int rank) {
-    const int core = world_.core_of(rank);
-    Bytes disk_bytes = bytes_per_rank_;
-    if (cfg_.fpp_compression) {
-      // HDF5's gzip filter runs on the compute core, inside the write
-      // phase the application is waiting on.
-      co_await eng_.delay(static_cast<double>(bytes_per_rank_) /
-                          cfg_.fpp_compression_rate);
-      disk_bytes = static_cast<Bytes>(static_cast<double>(bytes_per_rank_) /
-                                      cfg_.fpp_compression_ratio);
-    }
-    // One small file per process: single stripe, HDF5-chunk-sized
-    // requests.
-    fs::FileHandle h = co_await fs_.create(core, /*stripe_count=*/1);
-    fs::WriteOptions opts;
-    opts.max_request = cfg_.fpp_request;
-    co_await fs_.write(core, h, 0, disk_bytes, opts);
-    co_await fs_.close(core, h);
   }
 
   // -------------------------------------------------- dedicated writers
@@ -318,52 +320,24 @@ class Experiment {
   des::Process dedicated_writer(int writer) {
     const int core = writer_core(writer);
     const int clients = writer_clients(writer);
-    sched::SlotScheduler scheduler(
-        interval_seconds_ > 0 ? interval_seconds_ : 1.0, num_writers(),
-        writer);
-    const DamarisOptions& d = cfg_.damaris;
     for (int phase = 0; phase < num_phases_; ++phase) {
       Bytes total = 0;
       for (int c = 0; c < clients; ++c) {
         const PhaseMsg msg = co_await channels_[writer]->recv();
         total += msg.bytes;
       }
-      // §IV-D slot scheduling: wait for this writer's slot within the
-      // estimated iteration interval before touching the file system.
-      if (d.slot_scheduling) {
-        co_await eng_.delay(scheduler.slot_start());
-      }
-      // §VI coordinated scheduling: bound the number of concurrent
-      // writers with a circulating token set.
-      if (write_tokens_) {
-        co_await write_tokens_->acquire();
-      }
-      double busy = 0.0;
-      Bytes disk_bytes = total;
-      if (d.compression || d.precision16) {
-        const double ratio =
-            d.precision16 ? d.precision16_ratio : d.compression_ratio;
-        const double rate =
-            d.precision16 ? d.precision16_rate : d.compression_rate;
-        const double cpu = static_cast<double>(total) / rate;
-        co_await eng_.delay(cpu);
-        busy += cpu;
-        disk_bytes = static_cast<Bytes>(static_cast<double>(total) / ratio);
-      }
-      const SimTime t0 = eng_.now();
-      fs::FileHandle h = co_await fs_.create(core, d.file_stripe_count);
-      fs::WriteOptions opts;
-      opts.max_request = d.write_request;
-      co_await fs_.write(core, h, 0, disk_bytes, opts);
-      co_await fs_.close(core, h);
-      const SimTime wdur = eng_.now() - t0;
-      if (write_tokens_) {
-        write_tokens_->release();
-      }
-      busy += wdur;
+      iopath::WriteRequest req;
+      req.source = writer;
+      req.core = core;
+      req.phase = phase;
+      req.raw_bytes = total;
+      co_await writer_pipeline_.process(req);
+      // Busy time excludes the Schedule stage (waiting for a slot or a
+      // token is idle time, not work).
+      const SimTime wdur = req.seconds(StageKind::kStorage);
       dedicated_write_.add(wdur);
-      dedicated_busy_total_ += busy;
-      stored_bytes_total_ += disk_bytes;
+      dedicated_busy_total_ += req.seconds(StageKind::kTransform) + wdur;
+      stored_bytes_total_ += req.bytes;
     }
   }
 
@@ -384,6 +358,11 @@ class Experiment {
   std::unique_ptr<simmpi::CollectiveWriter> collective_;
   std::vector<std::unique_ptr<des::Channel<PhaseMsg>>> channels_;
   std::unique_ptr<des::Semaphore> write_tokens_;
+
+  /// What every compute rank runs in a write phase.
+  iopath::WritePipeline client_pipeline_;
+  /// What every dedicated writer runs per phase (Damaris only).
+  iopath::WritePipeline writer_pipeline_;
 
   Sample rank_write_;
   Sample phase_seconds_;

@@ -27,6 +27,8 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "fs/sim_fs.hpp"
+#include "iopath/compression_model.hpp"
+#include "iopath/metrics.hpp"
 #include "simmpi/collective_io.hpp"
 
 namespace dmr::strategies {
@@ -67,17 +69,32 @@ struct DamarisOptions {
 
   /// Lossless compression on the dedicated core (gzip stand-in): costs
   /// CPU time at `compression_rate` and divides the stored bytes by
-  /// `compression_ratio` (the paper measured 1.87x).
+  /// `compression_ratio` (the paper measured 1.87x). These fields are a
+  /// thin view over iopath::CompressionModel — the constants live there.
   bool compression = false;
-  double compression_ratio = 1.87;
-  double compression_rate = 45.0 * MiB;  // gzip on a 2012 Opteron core
+  double compression_ratio = iopath::kGzipRatio;
+  double compression_rate = iopath::kGzipRate;
 
   /// Additional 16-bit precision reduction for visualization outputs:
   /// total ratio becomes ~6x (the paper's 600%); halving the data first
   /// makes the lossless stage proportionally faster.
   bool precision16 = false;
-  double precision16_ratio = 6.0;
-  double precision16_rate = 70.0 * MiB;
+  double precision16_ratio = iopath::kPrecision16Ratio;
+  double precision16_rate = iopath::kPrecision16Rate;
+
+  /// The CompressionModel these options describe (precision16 wins when
+  /// both reductions are enabled — it subsumes the lossless chain).
+  iopath::CompressionModel compression_model() const {
+    if (precision16) {
+      return iopath::CompressionModel::visualization(precision16_ratio,
+                                                     precision16_rate);
+    }
+    if (compression) {
+      return iopath::CompressionModel::lossless(compression_ratio,
+                                                compression_rate);
+    }
+    return iopath::CompressionModel::none();
+  }
 
   /// §IV-D slot scheduling of dedicated-core writes.
   bool slot_scheduling = false;
@@ -112,11 +129,20 @@ struct RunConfig {
   /// HDF5 gzip in the file-per-process path (the paper enabled it for
   /// every BluePrint experiment): each *compute core* pays the CPU cost
   /// inside its write phase before shipping the smaller volume — unlike
-  /// Damaris, where the same work hides on the dedicated core.
+  /// Damaris, where the same work hides on the dedicated core. Thin
+  /// view over iopath::CompressionModel, like DamarisOptions.
   bool fpp_compression = false;
-  double fpp_compression_ratio = 1.87;
-  double fpp_compression_rate = 45.0 * MiB;
+  double fpp_compression_ratio = iopath::kGzipRatio;
+  double fpp_compression_rate = iopath::kGzipRate;
   simmpi::CollectiveWriteConfig collective;
+
+  /// The Transform model of the file-per-process client pipeline.
+  iopath::CompressionModel fpp_compression_model() const {
+    return fpp_compression
+               ? iopath::CompressionModel::lossless(fpp_compression_ratio,
+                                                    fpp_compression_rate)
+               : iopath::CompressionModel::none();
+  }
 };
 
 struct RunResult {
@@ -152,6 +178,11 @@ struct RunResult {
   /// Paper-style aggregate throughput: raw bytes of a phase divided by
   /// the mean write duration of that phase's writers.
   double aggregate_throughput = 0.0;
+
+  /// Per-stage time/byte counters pooled over the client and writer
+  /// pipelines (Ingest/Transport are client-side; Transform, Schedule
+  /// and Storage run wherever the strategy places them).
+  iopath::PipelineStats stage_stats;
 
   fs::FsStats fs_stats;
 };

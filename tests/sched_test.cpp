@@ -63,5 +63,61 @@ TEST(SlotScheduler, ConvergesToStableMeasurement) {
   EXPECT_NEAR(s.estimated_iteration(), 230.0, 0.01);
 }
 
+// ------------------------------------------------------------ edge cases
+
+TEST(SlotScheduler, ZeroEstimateCollapsesSlots) {
+  // Before the first measured iteration the estimate can be 0: every
+  // slot collapses to width 0 at offset 0 and nobody waits.
+  SlotScheduler s(0.0, 8, 5);
+  EXPECT_DOUBLE_EQ(s.slot_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.slot_start(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(17.0), 0.0);
+}
+
+TEST(SlotScheduler, NegativeEstimateClampsToZero) {
+  SlotScheduler s(-42.0, 4, 2);
+  EXPECT_DOUBLE_EQ(s.estimated_iteration(), 0.0);
+  EXPECT_DOUBLE_EQ(s.slot_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_time(0.0), 0.0);
+}
+
+TEST(SlotScheduler, FirstPositiveMeasurementReplacesEmptyEstimate) {
+  // A 0 initial estimate is "unknown", not a datapoint: the first real
+  // measurement replaces it outright instead of being EWMA-diluted.
+  SlotScheduler s(0.0, 4, 1);
+  s.update_estimate(120.0);
+  EXPECT_DOUBLE_EQ(s.estimated_iteration(), 120.0);
+  EXPECT_DOUBLE_EQ(s.slot_start(), 120.0 / 4);
+  s.update_estimate(-3.0);  // still ignored
+  EXPECT_DOUBLE_EQ(s.estimated_iteration(), 120.0);
+}
+
+TEST(SlotScheduler, MoreWritersThanSlotsShareRoundRobin) {
+  // 6 writers over 4 slots: writers 4 and 5 wrap onto slots 0 and 1.
+  const double T = 100.0;
+  for (int writer = 0; writer < 6; ++writer) {
+    SlotScheduler s(T, 4, writer);
+    EXPECT_EQ(s.slot_id(), writer % 4) << "writer " << writer;
+    EXPECT_DOUBLE_EQ(s.slot_start(), (writer % 4) * T / 4);
+  }
+}
+
+TEST(SlotScheduler, NegativeWriterIdWrapsIntoRange) {
+  SlotScheduler s(100.0, 4, -1);
+  EXPECT_EQ(s.slot_id(), 3);
+  EXPECT_DOUBLE_EQ(s.slot_start(), 75.0);
+}
+
+TEST(SlotScheduler, NonPositiveSlotCountBecomesSingleSlot) {
+  SlotScheduler zero(100.0, 0, 7);
+  EXPECT_EQ(zero.num_slots(), 1);
+  EXPECT_DOUBLE_EQ(zero.slot_width(), 100.0);
+  EXPECT_DOUBLE_EQ(zero.slot_start(), 0.0);
+  SlotScheduler negative(100.0, -3, 2);
+  EXPECT_EQ(negative.num_slots(), 1);
+  EXPECT_DOUBLE_EQ(negative.wait_time(0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace dmr::sched
