@@ -21,6 +21,7 @@
 #include "shm/event_queue.hpp"
 #include "shm/shared_buffer.hpp"
 #include "strategies/strategy.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -123,6 +124,46 @@ int main(int argc, char** argv) {
   const double ev_ns = des_timer_event_ns(200000);
   std::printf("des timer event: %.0f ns/event\n", ev_ns);
   json += "  \"micro_des\": {\"timer_event_ns\": " + json_num(ev_ns) + "},\n";
+
+  // --- trace overhead: the shm write path with no tracer (the default),
+  // with a tracer installed but all categories masked off (pure hook
+  // cost: one relaxed load + mask test per operation), and with tracing
+  // fully enabled (ring-record cost). The zero-trace acceptance bar:
+  // baseline and uninstalled paths are the same code, and the disabled
+  // column should sit within noise of the baseline.
+  {
+    const Bytes probe = 1 * MiB;
+    const int iters = 2000;
+    const double base_ns = shm_write_path_ns(probe, iters);
+    double disabled_ns = base_ns;
+    double enabled_ns = base_ns;
+    bool compiled = false;
+#ifdef DMR_TRACE
+    compiled = true;
+    {
+      trace::TracerOptions off;
+      off.categories = 0;
+      trace::Tracer off_tracer(off);
+      trace::ScopedTracer s(&off_tracer);
+      disabled_ns = shm_write_path_ns(probe, iters);
+    }
+    {
+      trace::Tracer on_tracer;
+      trace::ScopedTracer s(&on_tracer);
+      enabled_ns = shm_write_path_ns(probe, iters);
+    }
+#endif
+    std::printf(
+        "trace overhead (shm write path, 1 MiB): none %.0f ns, installed+"
+        "disabled %.0f ns, enabled %.0f ns%s\n",
+        base_ns, disabled_ns, enabled_ns,
+        compiled ? "" : " (DMR_TRACE off: hooks compiled out)");
+    json += "  \"trace_overhead\": {\"compiled\": " +
+            std::string(compiled ? "true" : "false") +
+            ", \"baseline_ns\": " + json_num(base_ns) +
+            ", \"installed_disabled_ns\": " + json_num(disabled_ns) +
+            ", \"enabled_ns\": " + json_num(enabled_ns) + "},\n";
+  }
 
   // --- fig6: aggregate throughput + pipeline stage profile ---
   using strategies::StrategyKind;

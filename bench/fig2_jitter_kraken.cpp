@@ -15,7 +15,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Figure 2 — write-phase duration on Kraken",
                 "Fig. 2, Section IV-C1",
                 "collective ~481s avg at 9216; FPP +/-17s; Damaris 0.2s flat");
@@ -29,6 +30,12 @@ int main() {
       RunConfig cfg = experiments::kraken_config(kind, cores,
                                                  /*iterations=*/5,
                                                  /*write_interval=*/1);
+      // With --trace-out, record the smallest-scale Damaris run (the
+      // README walkthrough): rank, writer and fs-server lanes stay
+      // readable at 576 cores.
+      if (kind == StrategyKind::kDamaris) {
+        cfg.tracer = trace_session.tracer_once();
+      }
       auto res = run_strategy(cfg);
       t.add_row({std::to_string(cores), strategies::strategy_name(kind),
                  Table::num(res.phase_seconds.mean(), 2),

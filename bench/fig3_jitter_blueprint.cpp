@@ -15,7 +15,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner(
       "Figure 3 — write-phase duration vs output size on BluePrint",
       "Fig. 3, Section IV-C1",
@@ -35,6 +36,9 @@ int main() {
       // The paper enabled HDF5 compression for every BluePrint run.
       cfg.fpp_compression = true;
       cfg.damaris.compression = true;
+      if (kind == StrategyKind::kDamaris) {
+        cfg.tracer = trace_session.tracer_once();
+      }
       auto res = run_strategy(cfg);
       t.add_row({format_bytes(res.bytes_per_phase),
                  strategies::strategy_name(kind),

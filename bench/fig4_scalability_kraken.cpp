@@ -13,7 +13,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Figure 4 — CM1 scalability on Kraken (50 iters + 1 write)",
                 "Fig. 4a/4b, Section IV-C2",
                 "Damaris ~perfect scaling; -35% vs FPP and /3.5 vs "
@@ -35,6 +36,9 @@ int main() {
           StrategyKind::kDamaris}) {
       RunConfig cfg = experiments::kraken_config(kind, cores, kIters,
                                                  /*write_interval=*/kIters);
+      if (kind == StrategyKind::kDamaris) {
+        cfg.tracer = trace_session.tracer_once();
+      }
       auto res = run_strategy(cfg);
       const double s =
           strategies::scalability_factor(cores, res.total_runtime, c576);

@@ -14,7 +14,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Figure 5 — dedicated-core write time vs spare time",
                 "Fig. 5a/5b, Section IV-C2",
                 "writes fully overlap; dedicated cores idle 75-99% of time");
@@ -29,6 +30,7 @@ int main() {
     RunConfig cfg = experiments::kraken_config(
         StrategyKind::kDamaris, cores, /*iterations=*/5,
         /*write_interval=*/1, kIterSeconds);
+    cfg.tracer = trace_session.tracer_once();
     auto res = run_strategy(cfg);
     const double write = res.dedicated_write_seconds.mean();
     a.add_row({std::to_string(cores), Table::num(write, 2),

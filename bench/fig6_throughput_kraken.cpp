@@ -14,7 +14,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Figure 6 — aggregate throughput on Kraken",
                 "Fig. 6, Section IV-C3",
                 "Damaris ~6x over FPP and ~15x over collective at 9216");
@@ -27,8 +28,13 @@ int main() {
     for (StrategyKind kind :
          {StrategyKind::kFilePerProcess, StrategyKind::kCollectiveIo,
           StrategyKind::kDamaris}) {
-      auto res = run_strategy(experiments::kraken_config(
-          kind, cores, /*iterations=*/5, /*write_interval=*/1));
+      RunConfig cfg = experiments::kraken_config(kind, cores,
+                                                 /*iterations=*/5,
+                                                 /*write_interval=*/1);
+      if (kind == StrategyKind::kDamaris) {
+        cfg.tracer = trace_session.tracer_once();
+      }
+      auto res = run_strategy(cfg);
       thr[i++] = res.aggregate_throughput;
     }
     t.add_row({std::to_string(cores), bench::gib_per_s(thr[0]),

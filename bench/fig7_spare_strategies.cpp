@@ -39,6 +39,7 @@ void run_platform(const char* label, RunConfig base) {
            "throughput (GiB/s)", "stored/phase", "ratio"});
   for (const Variant& v : kVariants) {
     RunConfig cfg = base;
+    base.tracer = nullptr;  // with --trace-out, trace the first variant only
     cfg.damaris.compression = v.compression;
     cfg.damaris.precision16 = v.precision16;
     cfg.damaris.slot_scheduling = v.scheduling;
@@ -61,7 +62,8 @@ void run_platform(const char* label, RunConfig base) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Figure 7 / Section IV-D — compression and scheduling",
                 "Fig. 7 and the 9.7->13.1 GB/s result, Section IV-D",
                 "scheduling cuts dedicated write time (9.7->13.1 GB/s at "
@@ -69,11 +71,12 @@ int main() {
                 "storage reduction");
 
   // Kraken, 2304 cores, ~230 s iterations (the paper's measured cadence).
-  run_platform("Kraken, 2304 cores",
-               experiments::kraken_config(StrategyKind::kDamaris, 2304,
-                                          /*iterations=*/5,
-                                          /*write_interval=*/1,
-                                          /*iteration_seconds=*/230.0));
+  auto kraken = experiments::kraken_config(StrategyKind::kDamaris, 2304,
+                                           /*iterations=*/5,
+                                           /*write_interval=*/1,
+                                           /*iteration_seconds=*/230.0);
+  kraken.tracer = trace_session.tracer_once();
+  run_platform("Kraken, 2304 cores", kraken);
 
   // Grid'5000, 912 cores (38 parapluie nodes).
   auto g5k = experiments::grid5000_config(StrategyKind::kDamaris, 912,

@@ -15,7 +15,8 @@ using namespace dmr;
 using strategies::RunConfig;
 using strategies::StrategyKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TraceSession trace_session(argc, argv);
   bench::banner("Table I — aggregate throughput on Grid'5000 (672 cores)",
                 "Table I, Section IV-C3",
                 "FPP 695 MB/s, collective 636 MB/s, Damaris 4.32 GB/s");
@@ -28,6 +29,9 @@ int main() {
         StrategyKind::kDamaris}) {
     auto cfg = experiments::grid5000_config(kind, 672, /*iterations=*/60,
                                             /*write_interval=*/20);
+    if (kind == StrategyKind::kDamaris) {
+      cfg.tracer = trace_session.tracer_once();
+    }
     auto res = run_strategy(cfg);
     t.add_row({strategies::strategy_name(kind),
                bench::mib_per_s(res.aggregate_throughput),

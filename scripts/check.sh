@@ -49,11 +49,12 @@ if [ "$RUN_UBSAN" = 1 ]; then
   run_sanitized_ctest undefined build-ubsan "" dmr_tests
 fi
 if [ "$RUN_TSAN" = 1 ]; then
-  # The threaded suites: shared-memory layer, protocol checker, and the
-  # middleware tests that drive client/server threads.
+  # The threaded suites: shared-memory layer, protocol checker, the
+  # middleware tests that drive client/server threads, and the lock-free
+  # trace ring's concurrent-writer tests.
   run_sanitized_ctest thread build-tsan \
-    "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism" \
-    shm_test check_test
+    "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism|TraceRing" \
+    shm_test check_test trace_test
 fi
 
 step "all checks passed"

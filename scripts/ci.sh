@@ -7,6 +7,7 @@
 #   scripts/ci.sh --fast        # tier-1 + lint + ASan (quick local loop)
 #   scripts/ci.sh --tsan        # ... plus the threaded suites under TSan
 #   scripts/ci.sh --no-bench    # skip the BENCH_pipeline.json snapshot
+#   scripts/ci.sh --no-docs     # skip the EXPERIMENTS.md drift gate
 #
 # Extra flags are passed through to scripts/check.sh. Exits non-zero on
 # the first failing step.
@@ -15,10 +16,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 RUN_BENCH=1
+RUN_DOCS=1
 CHECK_ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --no-bench) RUN_BENCH=0 ;;
+    --no-docs) RUN_DOCS=0 ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
 done
@@ -33,6 +36,16 @@ cmake --build build -j "$JOBS"
 
 step "tier-1 ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# ------------------------------------------------------ docs-drift gate
+# EXPERIMENTS.md's paper-vs-measured tables and results/figures/*.json
+# are generated from the simulation; fail when the committed versions
+# disagree with what the code measures (deterministic regeneration, see
+# scripts/gen_experiments_md.sh).
+if [ "$RUN_DOCS" = 1 ]; then
+  step "docs drift (EXPERIMENTS.md vs gen_experiments)"
+  scripts/gen_experiments_md.sh --check
+fi
 
 # --------------------------------------- correctness: lint + sanitizers
 step "scripts/check.sh ${CHECK_ARGS[*]:-}"

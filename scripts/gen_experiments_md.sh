@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Regenerate the paper-vs-measured section of EXPERIMENTS.md (plus the
+# per-figure JSON under results/figures/) from the simulation itself.
+#
+#   scripts/gen_experiments_md.sh           rebuild + splice in place
+#   scripts/gen_experiments_md.sh --check   regenerate to a temp file and
+#                                           fail (exit 1) if the committed
+#                                           EXPERIMENTS.md or JSON differs
+#                                           (the CI docs-drift gate)
+#
+# The generated block lives between the BEGIN/END GENERATED markers;
+# everything outside the markers is hand-written and untouched. Output
+# is deterministic (fixed-seed DES runs, fixed-width formatting), so a
+# second run is byte-identical — that is what --check relies on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+MD=EXPERIMENTS.md
+JSON_DIR=results/figures
+BEGIN='<!-- BEGIN GENERATED: scripts/gen_experiments_md.sh (do not edit by hand) -->'
+END='<!-- END GENERATED -->'
+
+check=0
+if [[ "${1:-}" == "--check" ]]; then
+  check=1
+elif [[ $# -gt 0 ]]; then
+  echo "usage: $0 [--check]" >&2
+  exit 2
+fi
+
+if [[ ! -x "$BUILD_DIR/bench/gen_experiments" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+cmake --build "$BUILD_DIR" --target gen_experiments -j "$(nproc)" >/dev/null
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+mkdir -p "$workdir/figures"
+
+"$BUILD_DIR/bench/gen_experiments" \
+  --md "$workdir/block.md" --json-dir "$workdir/figures"
+
+grep -qF "$BEGIN" "$MD" && grep -qF "$END" "$MD" || {
+  echo "gen_experiments_md.sh: markers not found in $MD" >&2
+  exit 1
+}
+
+# Splice: keep everything up to and including BEGIN, insert the block,
+# keep everything from END on.
+awk -v begin="$BEGIN" -v end="$END" -v block="$workdir/block.md" '
+  $0 == begin { print; while ((getline line < block) > 0) print line;
+                skipping = 1; next }
+  $0 == end   { skipping = 0 }
+  !skipping   { print }
+' "$MD" > "$workdir/spliced.md"
+
+if [[ $check -eq 1 ]]; then
+  fail=0
+  if ! diff -u "$MD" "$workdir/spliced.md" > "$workdir/md.diff"; then
+    echo "docs drift: EXPERIMENTS.md generated section is stale:" >&2
+    cat "$workdir/md.diff" >&2
+    fail=1
+  fi
+  for f in "$workdir"/figures/*.json; do
+    committed="$JSON_DIR/$(basename "$f")"
+    if ! cmp -s "$f" "$committed"; then
+      echo "docs drift: $committed is stale (or missing)" >&2
+      fail=1
+    fi
+  done
+  if [[ $fail -ne 0 ]]; then
+    echo "run scripts/gen_experiments_md.sh and commit the result" >&2
+    exit 1
+  fi
+  echo "gen_experiments_md.sh --check: EXPERIMENTS.md and $JSON_DIR in sync"
+else
+  mv "$workdir/spliced.md" "$MD"
+  mkdir -p "$JSON_DIR"
+  cp "$workdir"/figures/*.json "$JSON_DIR/"
+  echo "regenerated $MD (generated section) and $JSON_DIR/*.json"
+fi

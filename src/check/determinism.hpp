@@ -18,6 +18,11 @@
 //     run_strategy(experiments::kraken_config(kDamaris, 576, 5, 1));
 //   });
 //   assert(rep.deterministic);
+//
+// Thread-safety: the dispatch hook is thread-local — a TimelineHasher
+// observes only engines running on its own thread, so concurrent
+// verifications on different threads do not interfere. Non-reentrant
+// per thread (nesting restores the outer hasher on destruction).
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,10 @@
 //   pipeline.set_observer(&chk);
 //   ... run the experiment ...
 //   assert(chk.violation_count() == 0);
+//
+// Thread-safety: internally mutex-locked, so one checker may observe
+// several pipelines driven from different threads; read violations()
+// after the traced workload quiesced.
 #pragma once
 
 #include <cstdint>

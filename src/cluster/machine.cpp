@@ -10,7 +10,12 @@ Node::Node(des::Engine& eng, const NodeSpec& spec, int id, Rng noise_rng,
       // The memory bus saturates when every core memcpys at once;
       // spec.shm_bandwidth is the node's aggregate copy rate.
       shm_bus_(eng, spec.shm_bandwidth),
-      noise_(noise_spec, noise_rng) {}
+      noise_(noise_spec, noise_rng) {
+  const trace::EntityId lane{trace::EntityType::kNode,
+                             static_cast<std::uint32_t>(id)};
+  nic_.set_trace(lane, "nic");
+  shm_bus_.set_trace(lane, "shm-copy");
+}
 
 Machine::Machine(des::Engine& eng, const PlatformSpec& spec, int num_nodes,
                  std::uint64_t seed)

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <filesystem>
 
+#include "trace/tracer.hpp"
+
 namespace dmr::core {
 
 namespace {
@@ -11,6 +13,19 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Records a finished persistency step as a wall-clock span
+/// (Category::kPersist) on the node's lane: `dur` seconds ending now.
+void trace_persist(int node_id, const char* name, double dur,
+                   std::uint64_t bytes, std::int64_t iteration) {
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kPersist)) {
+    tr->record_span({trace::EntityType::kNode,
+                     static_cast<std::uint32_t>(node_id)},
+                    trace::Category::kPersist, name, tr->wall_now() - dur, dur,
+                    bytes, static_cast<std::int32_t>(iteration));
+  }
 }
 
 }  // namespace
@@ -57,14 +72,18 @@ Status PersistencyLayer::write_blocks(
         compression_model_for(cfg, b.variable);
     auto t0 = Clock::now();
     format::EncodedBuffer encoded = model.codec_pipeline().encode(raw);
+    double dt = seconds_since(t0);
     stage_stats_.of(iopath::StageKind::kTransform)
-        .add(seconds_since(t0), b.size, encoded.data.size());
+        .add(dt, b.size, encoded.data.size());
+    trace_persist(node_id_, "transform", dt, b.size, b.iteration);
 
     // Storage: append the encoded dataset to the container.
     t0 = Clock::now();
     Status s = writer.value().add_encoded(info, encoded, raw.size());
+    dt = seconds_since(t0);
     stage_stats_.of(iopath::StageKind::kStorage)
-        .add(seconds_since(t0), encoded.data.size(), encoded.data.size());
+        .add(dt, encoded.data.size(), encoded.data.size());
+    trace_persist(node_id_, "storage", dt, encoded.data.size(), b.iteration);
     if (!s.is_ok()) return s;
     ++stats_.datasets_written;
   }
@@ -72,7 +91,9 @@ Status PersistencyLayer::write_blocks(
   stats_.stored_bytes += writer.value().stored_bytes();
   const auto t0 = Clock::now();
   Status s = writer.value().finalize();
-  stage_stats_.of(iopath::StageKind::kStorage).add(seconds_since(t0), 0, 0);
+  const double dt = seconds_since(t0);
+  stage_stats_.of(iopath::StageKind::kStorage).add(dt, 0, 0);
+  trace_persist(node_id_, "finalize", dt, 0, iteration);
   if (!s.is_ok()) return s;
   ++stats_.files_written;
   return Status::ok();

@@ -25,6 +25,7 @@ Time ServiceQueue::commit_from(Time earliest_start, Bytes bytes,
   free_at_ = start + duration;
   total_busy_ += duration;
   ++ops_;
+  trace_commit(earliest_start, start, duration, bytes);
   return free_at_;
 }
 
@@ -33,7 +34,23 @@ Time ServiceQueue::commit_duration(Time duration) {
   free_at_ = start + duration;
   total_busy_ += duration;
   ++ops_;
+  trace_commit(eng_->now(), start, duration, 0);
   return free_at_;
+}
+
+void ServiceQueue::trace_commit(Time earliest_start, Time start, Time duration,
+                                Bytes bytes) const {
+  if (trace_label_ == nullptr) return;
+  trace::Tracer* tr = trace::current();
+  if (tr == nullptr || !tr->enabled(trace::Category::kDes)) return;
+  // The queueing delay the paper's jitter analysis cares about: how long
+  // this op sat behind earlier commitments before being serviced.
+  if (start > earliest_start) {
+    tr->record_span(trace_entity_, trace::Category::kDes, "wait",
+                    earliest_start, start - earliest_start, bytes);
+  }
+  tr->record_span(trace_entity_, trace::Category::kDes, trace_label_, start,
+                  duration, bytes);
 }
 
 SharedLink::SharedLink(Engine& eng, double rate, Time latency)
@@ -54,7 +71,7 @@ Time SharedLink::total_busy() const {
 void SharedLink::start_flow(Bytes bytes, std::coroutine_handle<> h) {
   advance();
   flows_.push(Flow{virtual_work_ + static_cast<double>(bytes),
-                   next_flow_seq_++, bytes, h});
+                   next_flow_seq_++, bytes, eng_->now(), h});
   reschedule();
 }
 
@@ -101,6 +118,13 @@ void SharedLink::on_tick() {
     if (remaining > kTimeEps) break;
     const Flow& f = flows_.top();
     bytes_delivered_ += f.total;
+    if (trace_label_ != nullptr) {
+      if (trace::Tracer* tr = trace::current();
+          tr != nullptr && tr->enabled(trace::Category::kDes)) {
+        tr->record_span(trace_entity_, trace::Category::kDes, trace_label_,
+                        f.started, eng_->now() - f.started, f.total);
+      }
+    }
     eng_->schedule_resume(f.handle, eng_->now() + latency_);
     flows_.pop();
   }

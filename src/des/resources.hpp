@@ -26,6 +26,7 @@
 
 #include "common/units.hpp"
 #include "des/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace dmr::des {
 
@@ -79,13 +80,28 @@ class ServiceQueue {
   double rate() const { return rate_; }
   void set_rate(double rate) { rate_ = rate; }
 
+  /// Gives this resource a trace identity (Category::kDes). Committed
+  /// service intervals are recorded as `label` spans on `entity`, plus a
+  /// "wait" span when a request queues behind earlier commitments. Pure
+  /// observation; a null label (the default) keeps the resource silent.
+  /// `label` must have static storage duration.
+  void set_trace(trace::EntityId entity, const char* label) {
+    trace_entity_ = entity;
+    trace_label_ = label;
+  }
+
  private:
+  void trace_commit(Time earliest_start, Time start, Time duration,
+                    Bytes bytes) const;
+
   Engine* eng_;
   double rate_;
   Time overhead_;
   Time free_at_ = 0.0;
   Time total_busy_ = 0.0;
   std::uint64_t ops_ = 0;
+  trace::EntityId trace_entity_{};
+  const char* trace_label_ = nullptr;
 };
 
 class SharedLink {
@@ -127,11 +143,21 @@ class SharedLink {
   /// Total bytes fully delivered.
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Gives this link a trace identity (Category::kDes): each completed
+  /// transfer is recorded as a `label` span covering its whole lifetime
+  /// (join to completion, i.e. including the slowdown from sharing).
+  /// Pure observation; `label` must have static storage duration.
+  void set_trace(trace::EntityId entity, const char* label) {
+    trace_entity_ = entity;
+    trace_label_ = label;
+  }
+
  private:
   struct Flow {
     double target_w;  // virtual work at which this flow completes
     std::uint64_t seq;
     Bytes total;  // original request size
+    Time started;  // join time, for tracing
     std::coroutine_handle<> handle;
   };
   struct FlowCompare {
@@ -159,6 +185,8 @@ class SharedLink {
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t pending_tick_ = 0;
   bool tick_scheduled_ = false;
+  trace::EntityId trace_entity_{};
+  const char* trace_label_ = nullptr;
 
   friend class TransferAwaiter;
 };

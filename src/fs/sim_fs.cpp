@@ -35,9 +35,16 @@ SimFs::SimFs(cluster::Machine& machine)
         cluster::NoiseModel(machine.spec().noise,
                             Rng::for_entity(machine.seed(),
                                             0x53525600ULL + i))));
+    auto& srv = *servers_.back();
+    const trace::EntityId id{trace::EntityType::kFsServer,
+                             static_cast<std::uint32_t>(i)};
+    srv.queue.set_trace(id, "write");
+    srv.lock_manager.set_trace(id, "lock");
+    srv.metadata.set_trace(id, "metadata");
   }
   if (spec_.metadata == cluster::MetadataModel::kSerializedSingleServer) {
     mds_ = std::make_unique<des::ServiceQueue>(*eng_, 1.0);
+    mds_->set_trace({trace::EntityType::kMds, 0}, "metadata");
   }
 }
 

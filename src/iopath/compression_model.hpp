@@ -11,6 +11,10 @@
 // resolution. CompressionModel is the single source of truth: the DES
 // world uses it as a *cost model* (cpu_seconds / stored_bytes) and the
 // real runtime maps it to the *actual codec chain* (codec_pipeline).
+//
+// Thread-safety: an immutable value type — configure it once, then
+// share it freely across threads (the per-server pipelines each hold a
+// copy).
 #pragma once
 
 #include <string_view>

@@ -2,7 +2,14 @@
 // every stage execution lands in the StageCounters of its kind. The
 // counters are what RunResult (DES world) and ServerStats (real
 // runtime) expose, so a perf trajectory can compare "time in Transform"
-// or "bytes into Storage" across PRs.
+// or "bytes into Storage" across PRs. (For per-*event* timelines rather
+// than aggregates, the tracing layer of src/trace/ records each stage
+// execution as a span.)
+//
+// Thread-safety: plain counters with no internal synchronization; each
+// PipelineStats belongs to one pipeline and is mutated only by the
+// thread driving it (a DES engine or one server thread). merge() the
+// per-pipeline stats after the workload quiesced.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "iopath/pipeline.hpp"
 
+#include "trace/tracer.hpp"
+
 namespace dmr::iopath {
 
 WritePipeline& WritePipeline::add(std::unique_ptr<Stage> stage) {
@@ -19,6 +21,13 @@ des::Task<void> WritePipeline::process(WriteRequest& req) {
     stats_.of(stage->kind()).add(dt, bytes_in, req.bytes);
     if (observer_) {
       observer_->on_stage_end(stage->kind(), req, dt, bytes_in, req.bytes);
+    }
+    if (trace::Tracer* tr = trace::current();
+        tr != nullptr && tr->enabled(trace::Category::kPipeline)) {
+      tr->record_span(
+          {trace_entity_type_, static_cast<std::uint32_t>(req.source)},
+          trace::Category::kPipeline, stage_name(stage->kind()), t0, dt,
+          bytes_in, req.phase);
     }
   }
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {

@@ -4,7 +4,13 @@
 // measuring each stage's simulated duration and byte flow, then runs
 // the stages' complete() epilogues in reverse order (so a Schedule
 // stage's token outlives the Storage stage it gates). Observers see
-// every stage boundary.
+// every stage boundary, and each stage execution is recorded as a span
+// on the requester's lane when tracing is on (src/trace/).
+//
+// Thread-safety: a pipeline is single-owner — process() is driven by
+// one DES process (or one server thread) at a time; configure stages,
+// observer and trace entity before the first request. Distinct
+// pipelines are independent and may run on different threads.
 #pragma once
 
 #include <memory>
@@ -13,6 +19,7 @@
 #include "des/engine.hpp"
 #include "iopath/metrics.hpp"
 #include "iopath/stage.hpp"
+#include "trace/event.hpp"
 
 namespace dmr::iopath {
 
@@ -28,6 +35,12 @@ class WritePipeline {
 
   /// Attaches an observer (not owned; null detaches).
   void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  /// Lane type for trace spans (Category::kPipeline): requests record
+  /// one span per stage on lane (`type`, req.source). Client pipelines
+  /// keep the default kRank; writer pipelines set kWriter so rank and
+  /// dedicated-core timelines land in separate trace processes.
+  void set_trace_entity(trace::EntityType type) { trace_entity_type_ = type; }
 
   /// Runs `req` through all stages. Sets req.bytes = req.raw_bytes on
   /// entry; stages may shrink it. Safe to run many requests
@@ -48,6 +61,7 @@ class WritePipeline {
   std::vector<std::unique_ptr<Stage>> stages_;
   PipelineStats stats_;
   PipelineObserver* observer_ = nullptr;
+  trace::EntityType trace_entity_type_ = trace::EntityType::kRank;
 };
 
 }  // namespace dmr::iopath

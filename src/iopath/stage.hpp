@@ -19,6 +19,11 @@
 // Ingest on the compute core plus Transform→Schedule→Storage on the
 // dedicated core. Stage kinds are ordered; a request must traverse them
 // monotonically (check::StageOrderChecker enforces this).
+//
+// Thread-safety: Stage implementations belong to their pipeline and
+// are invoked by its single driving thread; shared resources a stage
+// touches (FS servers, the scheduler) carry their own synchronization
+// or live inside one DES engine.
 #pragma once
 
 #include "common/units.hpp"

@@ -2,6 +2,10 @@
 // performs exactly the awaits the pre-pipeline monolith performed, so a
 // composition replays the same event timeline as the inline code it
 // replaced (pinned by tests/pipeline_equivalence_test.cpp).
+//
+// Thread-safety: DES-side only — every stage runs inside the single
+// thread of its des::Engine; no internal synchronization needed or
+// provided.
 #pragma once
 
 #include "cluster/machine.hpp"

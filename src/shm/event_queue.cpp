@@ -1,6 +1,31 @@
 #include "shm/event_queue.hpp"
 
+#include <algorithm>
+
+#include "trace/tracer.hpp"
+
 namespace dmr::shm {
+
+namespace {
+
+/// Queue traffic instants (Category::kShm, wall clock). Pushes land on
+/// the issuing client's lane, pops on the queue's consumer lane, so a
+/// Perfetto view shows the fan-in from compute cores to the dedicated
+/// core's event processing engine.
+void trace_msg(const char* name, trace::EntityId entity, const Message& m) {
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kShm)) {
+    tr->record_instant(entity, trace::Category::kShm, name, tr->wall_now(),
+                       m.block.size, static_cast<std::int32_t>(m.iteration));
+  }
+}
+
+trace::EntityId client_lane(const Message& m) {
+  return {trace::EntityType::kShmClient,
+          static_cast<std::uint32_t>(std::max(0, m.client_id))};
+}
+
+}  // namespace
 
 bool EventQueue::push(const Message& msg) {
   {
@@ -10,11 +35,13 @@ bool EventQueue::push(const Message& msg) {
       // Observed under the lock so publish/consume hooks of distinct
       // messages are seen in queue order.
       if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/false);
+      trace_msg("push-dropped", client_lane(msg), msg);
       return false;
     }
     queue_.push_back(msg);
     ++pushed_;
     if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/true);
+    trace_msg("push", client_lane(msg), msg);
   }
   cv_.notify_one();
   return true;
@@ -27,6 +54,7 @@ std::optional<Message> EventQueue::pop() {
   Message m = queue_.front();
   queue_.pop_front();
   if (ShmObserver* o = observer()) o->on_pop(m);
+  trace_msg("pop", {trace::EntityType::kShmQueue, 0}, m);
   return m;
 }
 
@@ -36,6 +64,7 @@ std::optional<Message> EventQueue::try_pop() {
   Message m = queue_.front();
   queue_.pop_front();
   if (ShmObserver* o = observer()) o->on_pop(m);
+  trace_msg("pop", {trace::EntityType::kShmQueue, 0}, m);
   return m;
 }
 

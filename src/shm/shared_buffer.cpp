@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/tracer.hpp"
+
 namespace dmr::shm {
 
 SharedBuffer::SharedBuffer(Bytes capacity, AllocPolicy policy,
@@ -28,16 +30,35 @@ SharedBuffer::SharedBuffer(Bytes capacity, AllocPolicy policy,
 
 SharedBuffer::~SharedBuffer() = default;
 
+namespace {
+
+/// Samples buffer occupancy into the trace (Category::kShm, wall clock):
+/// one "used" counter event per allocate/deallocate, rendered as the
+/// occupancy curve the paper's buffer-sizing discussion (§III-B) reasons
+/// about.
+void trace_used(Bytes used_now) {
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kShm)) {
+    tr->record_counter({trace::EntityType::kShmBuffer, 0},
+                       trace::Category::kShm, "used", tr->wall_now(),
+                       used_now);
+  }
+}
+
+}  // namespace
+
 void SharedBuffer::account_alloc(Bytes size) {
   const Bytes now = used_.fetch_add(size, std::memory_order_relaxed) + size;
   Bytes peak = peak_.load(std::memory_order_relaxed);
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  trace_used(now);
 }
 
 void SharedBuffer::account_free(Bytes size) {
-  used_.fetch_sub(size, std::memory_order_relaxed);
+  const Bytes now = used_.fetch_sub(size, std::memory_order_relaxed) - size;
+  trace_used(now);
 }
 
 Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {

@@ -129,6 +129,8 @@ class Experiment {
   ///                     writer: Transform -> Schedule -> Storage
   void build_pipelines() {
     const DamarisOptions& d = cfg_.damaris;
+    // Rank and dedicated-core timelines land in separate trace lanes.
+    writer_pipeline_.set_trace_entity(trace::EntityType::kWriter);
     switch (cfg_.kind) {
       case StrategyKind::kFilePerProcess:
         // HDF5's gzip filter runs on the compute core, inside the write
@@ -377,6 +379,9 @@ class Experiment {
 RunResult run_strategy(const RunConfig& cfg) {
   assert(cfg.num_nodes >= 1);
   assert(cfg.iterations >= 1);
+  // Install before construction so resource setup is visible too; a null
+  // tracer leaves any ambient tracer in place.
+  trace::ScopedTracer scoped(cfg.tracer);
   Experiment exp(cfg);
   return exp.run();
 }

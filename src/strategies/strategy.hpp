@@ -30,6 +30,7 @@
 #include "iopath/compression_model.hpp"
 #include "iopath/metrics.hpp"
 #include "simmpi/collective_io.hpp"
+#include "trace/tracer.hpp"
 
 namespace dmr::strategies {
 
@@ -135,6 +136,14 @@ struct RunConfig {
   double fpp_compression_ratio = iopath::kGzipRatio;
   double fpp_compression_rate = iopath::kGzipRate;
   simmpi::CollectiveWriteConfig collective;
+
+  /// Optional structured tracing (not owned; null = untraced). The
+  /// tracer is installed for the duration of run_strategy() via
+  /// trace::ScopedTracer, so DES resources, pipelines and the shm layer
+  /// record per-entity timelines in simulated time. Pure observation:
+  /// a traced run returns bit-identical results to an untraced one
+  /// (pinned by tests/trace_test.cpp).
+  trace::Tracer* tracer = nullptr;
 
   /// The Transform model of the file-per-process client pipeline.
   iopath::CompressionModel fpp_compression_model() const {

@@ -1,0 +1,97 @@
+// Trace event vocabulary: who did what, when, for how long, on how many
+// bytes.
+//
+// A TraceEvent is one observation attributed to an *entity* — a
+// simulated rank, a dedicated writer core, a file-system server, an shm
+// client thread — identified by a compact (type, index) pair. Events
+// fall into coarse categories (DES resources, shared memory, write
+// pipeline, persistency) that can be enabled independently at runtime,
+// and into three shapes: a span (something with a duration), an instant
+// (a point event like a queue push), and a counter (a sampled value
+// like shared-buffer occupancy). The `name` field must point to a
+// string with static storage duration (a literal): events are stored in
+// lock-free rings that never copy strings.
+//
+// Thread-safety: TraceEvent is a trivially copyable value type; all
+// synchronization lives in TraceRing / Tracer (see ring.hpp,
+// tracer.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace dmr::trace {
+
+/// Event categories, usable as a bitmask for runtime gating.
+enum class Category : std::uint32_t {
+  kDes = 1u << 0,       // DES resource queueing/service (fs servers, MDS)
+  kShm = 1u << 1,       // shared-memory event queue + allocators
+  kPipeline = 1u << 2,  // iopath write-pipeline stage boundaries
+  kPersist = 1u << 3,   // real persistency layer (wall clock)
+};
+
+inline constexpr std::uint32_t kAllCategories = 0xFu;
+
+inline constexpr std::uint32_t category_bit(Category c) {
+  return static_cast<std::uint32_t>(c);
+}
+
+const char* category_name(Category c);
+
+/// What kind of lane an entity occupies in the exported trace. One
+/// Chrome "process" per type, one "thread" (lane) per index.
+enum class EntityType : std::uint8_t {
+  kRank = 0,      // simulated compute rank
+  kWriter = 1,    // dedicated writer core (or staging node writer)
+  kFsServer = 2,  // parallel-FS data server
+  kMds = 3,       // metadata server
+  kShmClient = 4, // middleware client thread
+  kShmQueue = 5,  // middleware event queue (server side)
+  kShmBuffer = 6, // shared buffer (occupancy counters)
+  kNode = 7,      // middleware node (persistency layer)
+};
+
+inline constexpr int kNumEntityTypes = 8;
+
+const char* entity_type_name(EntityType t);  // plural, e.g. "ranks"
+const char* entity_lane_name(EntityType t);  // singular, e.g. "rank"
+
+/// Compact entity identity. The (type, index) pair is the whole scheme:
+/// indices are the natural ones of each domain (rank id, writer id,
+/// server id, shm client id, node id).
+struct EntityId {
+  EntityType type = EntityType::kRank;
+  std::uint32_t index = 0;
+
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(type) << 32) | index;
+  }
+  friend bool operator==(const EntityId& a, const EntityId& b) {
+    return a.key() == b.key();
+  }
+  friend bool operator<(const EntityId& a, const EntityId& b) {
+    return a.key() < b.key();
+  }
+};
+
+enum class EventKind : std::uint8_t {
+  kSpan = 0,     // [t, t + dur) — rendered as a slice
+  kInstant = 1,  // point event at t (dur ignored)
+  kCounter = 2,  // sampled value at t (in `bytes`)
+};
+
+/// One trace observation. `t` and `dur` are seconds in the domain of
+/// the category: simulated seconds for kDes/kPipeline (and kShm when
+/// recorded from inside a simulation), wall-clock seconds since tracer
+/// creation for the real middleware (kShm/kPersist).
+struct TraceEvent {
+  const char* name = nullptr;  // static-storage string (literal)
+  double t = 0.0;
+  double dur = 0.0;
+  std::uint64_t bytes = 0;
+  EntityId entity;
+  std::int32_t phase = -1;  // write-phase index, -1 when not applicable
+  Category cat = Category::kDes;
+  EventKind kind = EventKind::kInstant;
+};
+
+}  // namespace dmr::trace

@@ -1,0 +1,78 @@
+// JitterReport — distribution analytics over experiment samples.
+//
+// The paper's headline results are distributions, not point numbers
+// (Figure 2's avg/max write-phase spread, Figure 5's 75–99% idle
+// range), so the reproduction harness needs first-class percentile and
+// spread reporting rather than pooled means. A JitterReport collects
+// labelled Samples (per-phase durations, per-rank write times, ...) and
+// derives, per entry: count, mean, stddev, min, p50, p95, max, the
+// avg-vs-max spread (max − mean) and a fixed-bin histogram. All math
+// delegates to common/stats.hpp (Sample::percentile — pinned against it
+// by tests/trace_test.cpp), and both renderings (ASCII table, JSON) use
+// fixed formatting so a deterministic workload yields byte-identical
+// reports — the property the EXPERIMENTS.md drift gate relies on.
+//
+// Thread-safety: plain value semantics, no internal synchronization;
+// build and read a report from one thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace dmr::trace {
+
+/// Distribution summary of one Sample.
+struct JitterSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  /// The paper's Figure 2 quantity: how far the worst observation sits
+  /// above the average.
+  double spread = 0.0;  // max - mean
+
+  static JitterSummary of(const Sample& s);
+};
+
+/// Equal-width histogram of `s` over [lo, hi]; values outside clamp to
+/// the edge bins. Returns `bins` counts.
+std::vector<std::uint64_t> histogram(const Sample& s, int bins, double lo,
+                                     double hi);
+
+struct JitterEntry {
+  std::string group;  // e.g. "9216 cores"
+  std::string label;  // e.g. "damaris phase"
+  JitterSummary summary;
+  std::vector<std::uint64_t> hist;
+  double hist_lo = 0.0;
+  double hist_hi = 0.0;
+};
+
+class JitterReport {
+ public:
+  /// Adds one labelled sample (histogram over [min, max], `hist_bins`
+  /// bins; entries with empty samples are recorded with zero counts).
+  void add(std::string group, std::string label, const Sample& s,
+           int hist_bins = 8);
+
+  const std::vector<JitterEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// "group | label | n | mean | p50 | p95 | max | spread" table.
+  Table to_table() const;
+
+  /// Machine-readable rendering (stable field order, %.6g numbers).
+  std::string to_json() const;
+
+ private:
+  std::vector<JitterEntry> entries_;
+};
+
+}  // namespace dmr::trace

@@ -1,0 +1,70 @@
+#include "trace/ring.hpp"
+
+namespace dmr::trace {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Category category_from_bit(std::uint32_t bit) {
+  return static_cast<Category>(bit);
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void TraceRing::record(const TraceEvent& ev) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[seq & mask_];
+  // Invalidate first so a reader never pairs the old stamp with new
+  // fields, then publish the stamp last (release).
+  s.stamp.store(0, std::memory_order_relaxed);
+  s.name.store(ev.name, std::memory_order_relaxed);
+  s.t.store(ev.t, std::memory_order_relaxed);
+  s.dur.store(ev.dur, std::memory_order_relaxed);
+  s.bytes.store(ev.bytes, std::memory_order_relaxed);
+  s.entity.store(ev.entity.key(), std::memory_order_relaxed);
+  s.phase.store(ev.phase, std::memory_order_relaxed);
+  s.cat_kind.store(category_bit(ev.cat) |
+                       (static_cast<std::uint32_t>(ev.kind) << 16),
+                   std::memory_order_relaxed);
+  s.stamp.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::drain() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = head < capacity_ ? head : capacity_;
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (std::uint64_t seq = head - n; seq < head; ++seq) {
+    const Slot& s = slots_[seq & mask_];
+    if (s.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    TraceEvent ev;
+    ev.name = s.name.load(std::memory_order_relaxed);
+    ev.t = s.t.load(std::memory_order_relaxed);
+    ev.dur = s.dur.load(std::memory_order_relaxed);
+    ev.bytes = s.bytes.load(std::memory_order_relaxed);
+    const std::uint64_t key = s.entity.load(std::memory_order_relaxed);
+    ev.entity.type = static_cast<EntityType>(key >> 32);
+    ev.entity.index = static_cast<std::uint32_t>(key);
+    ev.phase = s.phase.load(std::memory_order_relaxed);
+    const std::uint32_t ck = s.cat_kind.load(std::memory_order_relaxed);
+    ev.cat = category_from_bit(ck & 0xFFFFu);
+    ev.kind = static_cast<EventKind>(ck >> 16);
+    // Re-check the stamp: if a writer started rewriting this slot while
+    // we read it, discard the torn snapshot.
+    if (s.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace dmr::trace

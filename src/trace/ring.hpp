@@ -1,0 +1,73 @@
+// Lock-free bounded ring buffer of TraceEvents.
+//
+// Writers claim slots with one fetch_add and store the event into
+// per-field atomics, so recording is wait-free, allocation-free and
+// safe from any number of threads; when the ring is full it wraps and
+// overwrites the oldest events (total claims and overwrites stay
+// exactly counted, so a truncated trace is always detectable). A
+// seqlock-style stamp written last (release) and re-checked by the
+// reader keeps a wrapped slot from being reported half-old/half-new.
+//
+// Thread-safety: record() may be called concurrently by any threads.
+// drain() is meant to run after the traced workload quiesced (the usual
+// export path); a concurrent drain is memory-safe and skips slots that
+// are mid-rewrite, but may under-report in-flight events.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace dmr::trace {
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records one event (wait-free; overwrites the oldest when full).
+  void record(const TraceEvent& ev);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total events ever recorded into this ring.
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to wrapping (recorded() - capacity, clamped at 0).
+  std::uint64_t overwritten() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Snapshot of the surviving events, oldest first. See the header
+  /// comment for the quiescence expectation.
+  std::vector<TraceEvent> drain() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // claim seq + 1, written last
+    std::atomic<const char*> name{nullptr};
+    std::atomic<double> t{0.0};
+    std::atomic<double> dur{0.0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> entity{0};  // EntityId::key()
+    std::atomic<std::int32_t> phase{-1};
+    std::atomic<std::uint32_t> cat_kind{0};  // category bit | kind << 16
+  };
+
+  std::size_t capacity_;  // power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace dmr::trace
