@@ -52,7 +52,7 @@ void BM_DamarisWritePath(benchmark::State& state) {
     Message m;
     m.type = MessageType::kWriteNotification;
     m.block = b.value();
-    queue.push(m);
+    (void)queue.push(m);  // queue never closed in this benchmark
     // Server side (drained inline to keep the buffer bounded).
     auto got = queue.try_pop();
     buf.deallocate(got->block);
@@ -67,7 +67,7 @@ void BM_EventQueueThroughput(benchmark::State& state) {
   Message m;
   m.type = MessageType::kUserEvent;
   for (auto _ : state) {
-    queue.push(m);
+    (void)queue.push(m);  // queue never closed in this benchmark
     benchmark::DoNotOptimize(queue.try_pop());
   }
   state.SetItemsProcessed(state.iterations());

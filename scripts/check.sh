@@ -4,21 +4,26 @@
 #   scripts/check.sh            # lint + ASan ctest + UBSan ctest
 #   scripts/check.sh --tsan     # ... plus the shm/check suites under TSan
 #   scripts/check.sh --fast     # lint + ASan only (quick local loop)
+#   scripts/check.sh --model    # ... plus the shm-protocol model checker
 #
 # Each sanitizer gets its own build tree (build-asan, build-ubsan,
-# build-tsan) so trees stay incremental across runs. The lint step uses
-# the regular `build/` tree's compilation database and is skipped with a
-# notice when clang-tidy is not installed.
+# build-tsan) so trees stay incremental across runs; the model-checking
+# stage gets an optimized build-mc tree (exploration is CPU-bound and
+# budgeted at ~60s). The lint step uses the regular `build/` tree's
+# compilation database and is skipped with a notice when clang-tidy is
+# not installed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=0
 RUN_UBSAN=1
+RUN_MODEL=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --fast) RUN_UBSAN=0 ;;
+    --model) RUN_MODEL=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -55,6 +60,19 @@ if [ "$RUN_TSAN" = 1 ]; then
   run_sanitized_ctest thread build-tsan \
     "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism|TraceRing" \
     shm_test check_test trace_test
+fi
+
+# -------------------------------------------- shm-protocol model checking
+# Exhaustive interleaving exploration (sleep-set DFS) of the shared
+# buffer / event queue handoff, plus the seeded-mutation catches — the
+# Mc* suites of tests/mc_test.cpp. Runs in an optimized tree: the
+# exploration is CPU-bound, and the suite's scenarios are sized to fit
+# a ~60s budget even on one core.
+if [ "$RUN_MODEL" = 1 ]; then
+  step "model checker (ctest -R '^Mc', build-mc)"
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-mc -j "$JOBS" --target mc_test
+  ctest --test-dir build-mc -R '^Mc' --output-on-failure -j "$JOBS"
 fi
 
 step "all checks passed"

@@ -3,11 +3,12 @@
 # correctness matrix of scripts/check.sh (lint + sanitizers), then the
 # performance-trajectory snapshot.
 #
-#   scripts/ci.sh               # tier-1 + lint + ASan + UBSan
+#   scripts/ci.sh               # tier-1 + lint + ASan + UBSan + model check
 #   scripts/ci.sh --fast        # tier-1 + lint + ASan (quick local loop)
 #   scripts/ci.sh --tsan        # ... plus the threaded suites under TSan
 #   scripts/ci.sh --no-bench    # skip the BENCH_pipeline.json snapshot
 #   scripts/ci.sh --no-docs     # skip the EXPERIMENTS.md drift gate
+#   scripts/ci.sh --no-model    # skip the shm-protocol model-checking stage
 #
 # Extra flags are passed through to scripts/check.sh. Exits non-zero on
 # the first failing step.
@@ -17,14 +18,20 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 RUN_BENCH=1
 RUN_DOCS=1
+RUN_MODEL=1
 CHECK_ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --no-bench) RUN_BENCH=0 ;;
     --no-docs) RUN_DOCS=0 ;;
+    --no-model) RUN_MODEL=0 ;;
+    --fast) RUN_MODEL=0; CHECK_ARGS+=("$arg") ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
 done
+if [ "$RUN_MODEL" = 1 ]; then
+  CHECK_ARGS+=("--model")
+fi
 
 step() { printf '\n==== %s ====\n' "$*"; }
 

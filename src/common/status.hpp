@@ -93,6 +93,9 @@ inline Status already_exists(std::string msg) {
 inline Status out_of_memory(std::string msg) {
   return Status(ErrorCode::kOutOfMemory, std::move(msg));
 }
+inline Status resource_busy(std::string msg) {
+  return Status(ErrorCode::kResourceBusy, std::move(msg));
+}
 inline Status io_error(std::string msg) {
   return Status(ErrorCode::kIoError, std::move(msg));
 }

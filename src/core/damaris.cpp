@@ -214,7 +214,10 @@ Status DamarisNode::signal_external(const std::string& event,
   msg.client_id = -1;  // external tool, not a client
   msg.iteration = iteration;
   msg.name_id = id;
-  shards_[0]->queue.push(msg);
+  if (!shards_[0]->queue.push(msg)) {
+    return resource_busy("event '" + event +
+                         "' dropped: server queue already closed");
+  }
   return Status::ok();
 }
 
@@ -422,7 +425,13 @@ Status Client::write_sized(const std::string& variable,
   msg.iteration = iteration;
   msg.name_id = id;
   msg.block = block.value();
-  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
+    // Dropped: the server is shutting down and will never consume this
+    // block, so the pusher must release it or it leaks until shutdown.
+    node_->buffer_->deallocate(block.value());
+    return resource_busy("write of '" + variable +
+                         "' dropped: server queue already closed");
+  }
 
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
   std::lock_guard<std::mutex> lock(node_->stats_mutex_);
@@ -472,7 +481,13 @@ Status Client::commit(const std::string& variable, std::int64_t iteration) {
   msg.iteration = iteration;
   msg.name_id = id;
   msg.block = block;
-  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
+    // Same leak hazard as write_sized: a dropped notification leaves
+    // the committed block live forever unless we release it here.
+    node_->buffer_->deallocate(block);
+    return resource_busy("commit of '" + variable +
+                         "' dropped: server queue already closed");
+  }
 
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
   std::lock_guard<std::mutex> lock(node_->stats_mutex_);
@@ -495,7 +510,10 @@ Status Client::signal(const std::string& event, std::int64_t iteration) {
   msg.client_id = id_;
   msg.iteration = iteration;
   msg.name_id = id;
-  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
+    return resource_busy("signal '" + event +
+                         "' dropped: server queue already closed");
+  }
   return Status::ok();
 }
 
@@ -505,7 +523,9 @@ Status Client::end_iteration(std::int64_t iteration) {
   msg.client_id = id_;
   msg.iteration = iteration;
   msg.name_id = node_->name_id("..end_iteration");
-  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
+    return resource_busy("end_iteration dropped: server queue already closed");
+  }
   return Status::ok();
 }
 
@@ -513,7 +533,9 @@ Status Client::finalize() {
   shm::Message msg;
   msg.type = shm::MessageType::kClientFinalize;
   msg.client_id = id_;
-  node_->shards_[node_->shard_of(id_)]->queue.push(msg);
+  // A drop means the queue is already closed — the server is gone,
+  // which is the state finalize exists to reach.
+  (void)node_->shards_[node_->shard_of(id_)]->queue.push(msg);
   return Status::ok();
 }
 

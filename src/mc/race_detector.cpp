@@ -1,0 +1,187 @@
+#include "mc/race_detector.hpp"
+
+#include <sstream>
+
+namespace dmr::mc {
+
+namespace {
+
+/// Stable map key for a synchronization object. Pointers are at least
+/// 4-byte aligned, so folding the kind and index into the low/high bits
+/// cannot collide two distinct objects.
+std::uint64_t sync_key(const shm::SyncPoint& sync) {
+  return reinterpret_cast<std::uint64_t>(sync.object) ^
+         (static_cast<std::uint64_t>(sync.kind) << 62) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sync.index))
+          << 40);
+}
+
+}  // namespace
+
+std::string AccessSite::to_string() const {
+  std::ostringstream os;
+  os << (write ? "write" : "read") << " of [" << offset << ", +" << size
+     << ") by " << (thread_name.empty() ? "thread " + std::to_string(tid)
+                                        : thread_name)
+     << " in " << op;
+  if (step >= 0) os << " (step " << step << ")";
+  return os.str();
+}
+
+std::string RaceReport::to_string() const {
+  return "data race: " + first.to_string() + "  <-unordered->  " +
+         second.to_string();
+}
+
+void HbRaceDetector::register_thread(int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[tid] = std::move(name);
+  if (static_cast<std::size_t>(tid) >= thread_clocks_.size()) {
+    thread_clocks_.resize(static_cast<std::size_t>(tid) + 1);
+  }
+  // Every thread starts at time 1 in its own component so that two
+  // never-synchronized threads' epochs are mutually unobserved.
+  if (thread_clocks_[tid].of(tid) == 0) thread_clocks_[tid].set(tid, 1);
+}
+
+void HbRaceDetector::set_current_thread(int tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forced_tid_ = tid;
+}
+
+void HbRaceDetector::set_context(const char* op, int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_op_ = op;
+  context_step_ = step;
+}
+
+void HbRaceDetector::thread_create(int parent, int child) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(std::max(parent, child)) >=
+      thread_clocks_.size()) {
+    thread_clocks_.resize(static_cast<std::size_t>(std::max(parent, child)) +
+                          1);
+  }
+  if (thread_clocks_[child].of(child) == 0) thread_clocks_[child].set(child, 1);
+  thread_clocks_[child].join(thread_clocks_[parent]);
+  thread_clocks_[parent].tick(parent);
+}
+
+void HbRaceDetector::thread_join(int parent, int child) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<std::size_t>(std::max(parent, child)) >=
+      thread_clocks_.size()) {
+    thread_clocks_.resize(static_cast<std::size_t>(std::max(parent, child)) +
+                          1);
+  }
+  thread_clocks_[parent].join(thread_clocks_[child]);
+}
+
+int HbRaceDetector::current_locked() {
+  if (forced_tid_ >= 0) {
+    if (static_cast<std::size_t>(forced_tid_) >= thread_clocks_.size()) {
+      thread_clocks_.resize(static_cast<std::size_t>(forced_tid_) + 1);
+    }
+    if (thread_clocks_[forced_tid_].of(forced_tid_) == 0) {
+      thread_clocks_[forced_tid_].set(forced_tid_, 1);
+    }
+    return forced_tid_;
+  }
+  const auto id = std::this_thread::get_id();
+  auto it = real_thread_ids_.find(id);
+  if (it == real_thread_ids_.end()) {
+    const int tid = static_cast<int>(real_thread_ids_.size());
+    it = real_thread_ids_.emplace(id, tid).first;
+    if (static_cast<std::size_t>(tid) >= thread_clocks_.size()) {
+      thread_clocks_.resize(static_cast<std::size_t>(tid) + 1);
+    }
+    if (thread_clocks_[tid].of(tid) == 0) thread_clocks_[tid].set(tid, 1);
+    if (!thread_names_.count(tid)) {
+      thread_names_[tid] = "thread-" + std::to_string(tid);
+    }
+  }
+  return it->second;
+}
+
+AccessSite HbRaceDetector::site_of(const Access& a) const { return a.site; }
+
+void HbRaceDetector::record_access(const shm::Block& block, bool write) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int tid = current_locked();
+  if (static_cast<std::size_t>(tid) >= thread_clocks_.size()) {
+    thread_clocks_.resize(static_cast<std::size_t>(tid) + 1);
+  }
+  if (thread_clocks_[tid].of(tid) == 0) thread_clocks_[tid].set(tid, 1);
+  const VectorClock& clock = thread_clocks_[tid];
+
+  Access a;
+  a.offset = block.offset;
+  a.size = block.size;
+  a.write = write;
+  a.epoch = Epoch{tid, clock.of(tid)};
+  a.site = AccessSite{block.offset,
+                      block.size,
+                      write,
+                      tid,
+                      thread_names_.count(tid) ? thread_names_[tid] : "",
+                      context_op_,
+                      context_step_};
+
+  for (const Access& old : accesses_) {
+    if (!(old.write || write)) continue;  // read-read never conflicts
+    const bool overlap = old.offset < block.offset + block.size &&
+                         block.offset < old.offset + old.size;
+    if (!overlap) continue;
+    if (old.epoch.tid == tid) continue;  // program order
+    if (clock.observed(old.epoch)) continue;  // happens-before edge exists
+    if (races_.size() < 100) {
+      races_.push_back(RaceReport{site_of(old), a.site});
+    }
+  }
+  accesses_.push_back(std::move(a));
+}
+
+void HbRaceDetector::on_write(const shm::Block& block) {
+  record_access(block, /*write=*/true);
+}
+
+void HbRaceDetector::on_read(const shm::Block& block) {
+  record_access(block, /*write=*/false);
+}
+
+void HbRaceDetector::on_acquire(const shm::SyncPoint& sync) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int tid = current_locked();
+  thread_clocks_[tid].join(sync_clocks_[sync_key(sync)]);
+}
+
+void HbRaceDetector::on_release(const shm::SyncPoint& sync) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int tid = current_locked();
+  // Accumulating join (not overwrite): a mutex's clock remembers every
+  // prior critical section, which is exactly the edge a later acquirer
+  // is entitled to.
+  sync_clocks_[sync_key(sync)].join(thread_clocks_[tid]);
+  thread_clocks_[tid].tick(tid);
+}
+
+std::vector<RaceReport> HbRaceDetector::races() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return races_;
+}
+
+std::size_t HbRaceDetector::race_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return races_.size();
+}
+
+std::string HbRaceDetector::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (races_.empty()) return "no data races\n";
+  std::ostringstream os;
+  os << races_.size() << " data race(s):\n";
+  for (const RaceReport& r : races_) os << "  " << r.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace dmr::mc

@@ -1,0 +1,128 @@
+// Happens-before race detector for the shared-memory handoff.
+//
+// An ShmObserver that maintains FastTrack-style vector clocks
+// (mc/vector_clock.hpp) and flags *unordered conflicting accesses* to
+// the same byte range of the shared buffer — the analytical counterpart
+// of ThreadSanitizer, but driven by the protocol's own instrumentation
+// hooks, so it works both under the deterministic model checker (where
+// it sees every interleaving the DFS explores) and on real threads.
+//
+// Event sources:
+//  - on_write / on_read (SharedBuffer::note_write / note_read): payload
+//    accesses, recorded with the accessing thread's current epoch;
+//  - on_acquire / on_release (sync-point annotations in event_queue.cpp
+//    and shared_buffer.cpp): happens-before edges through the queue
+//    mutex, the first-fit mutex and the per-partition live counter.
+//
+// A conflict is two accesses to overlapping ranges, at least one a
+// write, neither ordered before the other by the recorded edges. Each
+// RaceReport carries both access sites (operation label, thread, step)
+// — the "access stacks" of a deterministic world, precise enough to
+// replay.
+//
+// Thread identity: under the model checker, the scheduler names the
+// executing VirtualThread via set_current_thread(). On real threads,
+// leave it unset and the detector maps std::this_thread::get_id() to a
+// dense id on first use.
+//
+// Thread-safety: all hooks lock an internal mutex; the detector is a
+// checker, not a hot path.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "mc/vector_clock.hpp"
+#include "shm/observer.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::mc {
+
+/// One recorded payload access ("access stack" of a deterministic run).
+struct AccessSite {
+  Bytes offset = 0;
+  Bytes size = 0;
+  bool write = false;
+  int tid = -1;
+  std::string thread_name;
+  const char* op = "?";  // operation label (static storage)
+  int step = -1;         // scheduler step index, -1 outside the mc harness
+
+  std::string to_string() const;
+};
+
+/// Two unordered conflicting accesses to overlapping ranges.
+struct RaceReport {
+  AccessSite first;
+  AccessSite second;
+
+  std::string to_string() const;
+};
+
+class HbRaceDetector : public shm::ShmObserver {
+ public:
+  HbRaceDetector() = default;
+
+  HbRaceDetector(const HbRaceDetector&) = delete;
+  HbRaceDetector& operator=(const HbRaceDetector&) = delete;
+
+  /// Registers a thread under a stable dense id (the model checker's
+  /// VirtualThread ids). Optional: unregistered threads are named after
+  /// their registration order.
+  void register_thread(int tid, std::string name);
+
+  /// Declares which thread performs the hooks that follow (model-checker
+  /// mode; pass -1 to return to std::this_thread::get_id() mapping).
+  void set_current_thread(int tid);
+
+  /// Labels the next hooks with an operation name and scheduler step,
+  /// so race reports can cite both sides' position in the schedule.
+  void set_context(const char* op, int step);
+
+  /// Fork/join edges, for harnesses that spawn threads: the child
+  /// starts with the parent's clock; join folds the child back in.
+  void thread_create(int parent, int child);
+  void thread_join(int parent, int child);
+
+  // --- ShmObserver ---
+  void on_write(const shm::Block& block) override;
+  void on_read(const shm::Block& block) override;
+  void on_acquire(const shm::SyncPoint& sync) override;
+  void on_release(const shm::SyncPoint& sync) override;
+
+  std::vector<RaceReport> races() const;
+  std::size_t race_count() const;
+
+  /// "no data races" or one line per race pair.
+  std::string report() const;
+
+ private:
+  struct Access {
+    Bytes offset;
+    Bytes size;
+    bool write;
+    Epoch epoch;       // the accessor's epoch at access time
+    AccessSite site;   // for reporting
+  };
+
+  int current_locked();
+  void record_access(const shm::Block& block, bool write);
+  AccessSite site_of(const Access& a) const;
+
+  mutable std::mutex mutex_;
+  std::vector<VectorClock> thread_clocks_;
+  std::unordered_map<int, std::string> thread_names_;
+  std::unordered_map<std::uint64_t, VectorClock> sync_clocks_;
+  std::unordered_map<std::thread::id, int> real_thread_ids_;
+  std::vector<Access> accesses_;
+  std::vector<RaceReport> races_;
+  int forced_tid_ = -1;
+  const char* context_op_ = "?";
+  int context_step_ = -1;
+};
+
+}  // namespace dmr::mc

@@ -1,0 +1,21 @@
+#include "mc/vector_clock.hpp"
+
+#include <sstream>
+
+namespace dmr::mc {
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    if (clocks_[i] == 0) continue;
+    if (!first) os << " ";
+    os << "t" << i << "=" << clocks_[i];
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dmr::mc

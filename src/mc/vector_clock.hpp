@@ -1,0 +1,85 @@
+// Vector clocks for happens-before analysis (FastTrack lineage).
+//
+// A VectorClock maps thread ids to logical times. The race detector
+// keeps one clock per thread (what the thread has observed), one per
+// synchronization object (what its last releaser had observed), and one
+// *epoch* — a single (tid, time) pair — per recorded memory access.
+// FastTrack's key insight is that the epoch is sufficient to decide
+// whether a past access happens-before the current one: access (t, c)
+// happened-before thread u iff c <= C_u[t].
+//
+// Thread ids are small dense integers (the model checker's VirtualThread
+// ids, or the detector's registration order for real threads), so the
+// clock is a plain vector that grows on demand.
+//
+// Thread-safety: none — callers (mc::Scheduler runs single-threaded;
+// HbRaceDetector locks its own mutex) serialize access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmr::mc {
+
+/// One thread's time component: access (tid, time) happens-before a
+/// thread whose clock C satisfies time <= C.of(tid).
+struct Epoch {
+  int tid = -1;
+  std::uint64_t time = 0;
+};
+
+class VectorClock {
+ public:
+  std::uint64_t of(int tid) const {
+    return tid >= 0 && static_cast<std::size_t>(tid) < clocks_.size()
+               ? clocks_[tid]
+               : 0;
+  }
+
+  void set(int tid, std::uint64_t time) {
+    grow(tid);
+    clocks_[tid] = time;
+  }
+
+  /// Advances `tid`'s component by one and returns the new epoch.
+  Epoch tick(int tid) {
+    grow(tid);
+    return Epoch{tid, ++clocks_[tid]};
+  }
+
+  /// Pointwise maximum with `other` (the acquire/join operation).
+  void join(const VectorClock& other) {
+    if (other.clocks_.size() > clocks_.size()) {
+      clocks_.resize(other.clocks_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+      if (other.clocks_[i] > clocks_[i]) clocks_[i] = other.clocks_[i];
+    }
+  }
+
+  /// Did `e` happen before (or on) the thread owning this clock?
+  bool observed(const Epoch& e) const { return e.time <= of(e.tid); }
+
+  /// Pointwise <= (full happens-before between two clocks).
+  bool leq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      if (clocks_[i] > other.of(static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  /// "[t0=3 t2=7]" — zero components omitted.
+  std::string to_string() const;
+
+ private:
+  void grow(int tid) {
+    if (tid >= 0 && static_cast<std::size_t>(tid) >= clocks_.size()) {
+      clocks_.resize(static_cast<std::size_t>(tid) + 1, 0);
+    }
+  }
+
+  std::vector<std::uint64_t> clocks_;
+};
+
+}  // namespace dmr::mc

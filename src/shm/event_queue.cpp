@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "shm/test_hooks.hpp"
 #include "trace/tracer.hpp"
 
 namespace dmr::shm {
@@ -30,17 +31,28 @@ trace::EntityId client_lane(const Message& m) {
 bool EventQueue::push(const Message& msg) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ShmObserver* o = observer();
+    // The mutex is a synchronization object: entering the critical
+    // section acquires every prior release on this queue, leaving it
+    // releases our own history (mc::HbRaceDetector semantics).
+    if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
     if (closed_) {
       ++dropped_;
       // Observed under the lock so publish/consume hooks of distinct
       // messages are seen in queue order.
-      if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/false);
+      if (o) {
+        o->on_push(msg, /*accepted=*/false);
+        o->on_release({SyncPoint::Kind::kQueueMutex, this});
+      }
       trace_msg("push-dropped", client_lane(msg), msg);
       return false;
     }
     queue_.push_back(msg);
     ++pushed_;
-    if (ShmObserver* o = observer()) o->on_push(msg, /*accepted=*/true);
+    if (o) {
+      o->on_push(msg, /*accepted=*/true);
+      o->on_release({SyncPoint::Kind::kQueueMutex, this});
+    }
     trace_msg("push", client_lane(msg), msg);
   }
   cv_.notify_one();
@@ -50,20 +62,36 @@ bool EventQueue::push(const Message& msg) {
 std::optional<Message> EventQueue::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return std::nullopt;
+  ShmObserver* o = observer();
+  if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
+  if (queue_.empty()) {
+    if (o) o->on_release({SyncPoint::Kind::kQueueMutex, this});
+    return std::nullopt;
+  }
   Message m = queue_.front();
   queue_.pop_front();
-  if (ShmObserver* o = observer()) o->on_pop(m);
+  if (o) {
+    o->on_pop(m);
+    o->on_release({SyncPoint::Kind::kQueueMutex, this});
+  }
   trace_msg("pop", {trace::EntityType::kShmQueue, 0}, m);
   return m;
 }
 
 std::optional<Message> EventQueue::try_pop() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (queue_.empty()) return std::nullopt;
+  ShmObserver* o = observer();
+  if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
+  if (queue_.empty()) {
+    if (o) o->on_release({SyncPoint::Kind::kQueueMutex, this});
+    return std::nullopt;
+  }
   Message m = queue_.front();
   queue_.pop_front();
-  if (ShmObserver* o = observer()) o->on_pop(m);
+  if (o) {
+    o->on_pop(m);
+    o->on_release({SyncPoint::Kind::kQueueMutex, this});
+  }
   trace_msg("pop", {trace::EntityType::kShmQueue, 0}, m);
   return m;
 }
@@ -72,9 +100,20 @@ void EventQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return;
+    ShmObserver* o = observer();
+    if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
     closed_ = true;
-    if (ShmObserver* o = observer()) o->on_close();
+    if (o) {
+      o->on_close();
+      o->on_release({SyncPoint::Kind::kQueueMutex, this});
+    }
   }
+#ifdef DMR_CHECK
+  // Seeded lost-wakeup bug (tests/mc_test.cpp): forget to wake blocked
+  // poppers. The model checker's cooperative wait model reads the same
+  // flag and reports the resulting deadlock.
+  if (test_hooks().skip_notify_on_close) return;
+#endif
   cv_.notify_all();
 }
 

@@ -51,16 +51,19 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Enqueues a message (never blocks). Returns false — and drops the
-  /// message — when the queue is already closed.
-  bool push(const Message& msg);
+  /// message — when the queue is already closed. Callers must not
+  /// ignore the result: a dropped kWriteNotification still owns its
+  /// shared-memory block, and whoever pushed it must release the block
+  /// or it leaks until shutdown (see core::Client::write_sized).
+  [[nodiscard]] bool push(const Message& msg);
 
   /// Pops the oldest message, blocking until one is available or
   /// `close()` is called. Returns nullopt only after close() with an
   /// empty queue.
-  std::optional<Message> pop();
+  [[nodiscard]] std::optional<Message> pop();
 
   /// Non-blocking pop.
-  std::optional<Message> try_pop();
+  [[nodiscard]] std::optional<Message> try_pop();
 
   /// Wakes all poppers; pop() drains remaining messages, then returns
   /// nullopt. Idempotent.

@@ -30,6 +30,23 @@ namespace dmr::shm {
 struct Block;
 struct Message;
 
+/// Identity of a synchronization object, for happens-before analysis
+/// (mc::HbRaceDetector). Every acquire/release pair on the same
+/// SyncPoint creates a happens-before edge from the releasing thread's
+/// past to the acquiring thread's future:
+///  - kQueueMutex: the event queue's mutex+condvar (push/pop/close each
+///    acquire on entry and release on exit of the critical section);
+///  - kBufferMutex: the first-fit allocator's mutex;
+///  - kPartition: a partitioned-policy per-client region — deallocate's
+///    fetch_sub(release) on `live` synchronizes with allocate's
+///    load(acquire), which is what makes partition rewind safe.
+struct SyncPoint {
+  enum class Kind : std::uint8_t { kQueueMutex, kBufferMutex, kPartition };
+  Kind kind = Kind::kQueueMutex;
+  const void* object = nullptr;  // the queue / buffer / partition
+  int index = -1;                // partition's client id, else -1
+};
+
 class ShmObserver {
  public:
   virtual ~ShmObserver() = default;
@@ -40,8 +57,19 @@ class ShmObserver {
   /// The owning client finished writing the block's payload
   /// (SharedBuffer::note_write).
   virtual void on_write(const Block& block) { (void)block; }
+  /// The consuming side finished reading the block's payload
+  /// (SharedBuffer::note_read).
+  virtual void on_read(const Block& block) { (void)block; }
   /// The block is about to be returned to the allocator.
   virtual void on_deallocate(const Block& block) { (void)block; }
+
+  // --- synchronization edges (both SharedBuffer and EventQueue) ---
+  /// The current thread acquired `sync` (joins the sync object's clock
+  /// into the thread's — mutex lock, acquire-load).
+  virtual void on_acquire(const SyncPoint& sync) { (void)sync; }
+  /// The current thread released `sync` (joins the thread's clock into
+  /// the sync object's — mutex unlock, release-store).
+  virtual void on_release(const SyncPoint& sync) { (void)sync; }
 
   // --- EventQueue ---
   /// A message was offered to the queue. `accepted` is false when the

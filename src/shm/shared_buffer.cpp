@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "shm/test_hooks.hpp"
 #include "trace/tracer.hpp"
 
 namespace dmr::shm {
@@ -81,6 +83,17 @@ Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {
 
 void SharedBuffer::deallocate(const Block& block) {
   if (!block.valid()) return;
+  deallocate_once(block);
+#ifdef DMR_CHECK
+  // Seeded double-release bug (tests/mc_test.cpp): return the block a
+  // second time, corrupting the free list / partition counters. The
+  // protocol checker and the free-list integrity invariant must both
+  // flag it.
+  if (test_hooks().double_deallocate) deallocate_once(block);
+#endif
+}
+
+void SharedBuffer::deallocate_once(const Block& block) {
   // Observed *before* the bytes return to the allocator: a release is
   // always seen before any re-allocation of the same offset.
   if (ShmObserver* o = observer()) o->on_deallocate(block);
@@ -93,6 +106,11 @@ void SharedBuffer::deallocate(const Block& block) {
 
 Result<Block> SharedBuffer::allocate_first_fit(Bytes size, int client_id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ShmObserver* o = observer();
+  if (o) o->on_acquire({SyncPoint::Kind::kBufferMutex, this});
+  auto release = [&] {
+    if (o) o->on_release({SyncPoint::Kind::kBufferMutex, this});
+  };
   for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
     if (it->second < size) continue;
     Block b{it->first, size, client_id};
@@ -101,15 +119,20 @@ Result<Block> SharedBuffer::allocate_first_fit(Bytes size, int client_id) {
     free_by_offset_.erase(it);
     if (remaining > 0) free_by_offset_.emplace(new_offset, remaining);
     account_alloc(size);
+    release();
     return b;
   }
   failed_.fetch_add(1, std::memory_order_relaxed);
+  release();
   return out_of_memory("no free region of " + std::to_string(size) +
                        " bytes");
 }
 
 void SharedBuffer::deallocate_first_fit(const Block& block) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ShmObserver* o = observer();
+  if (o) o->on_acquire({SyncPoint::Kind::kBufferMutex, this});
+  if (o) o->on_release({SyncPoint::Kind::kBufferMutex, this});
   Bytes offset = block.offset;
   Bytes length = block.size;
   // Coalesce with the next free range.
@@ -133,6 +156,12 @@ void SharedBuffer::deallocate_first_fit(const Block& block) {
 
 Result<Block> SharedBuffer::allocate_partitioned(Bytes size, int client_id) {
   Partition& p = *partitions_[client_id];
+  // The acquire-load of `live` below synchronizes with the server's
+  // release-decrement in deallocate_partitioned — that edge is what
+  // makes the rewind safe, and is mirrored to the race detector here.
+  if (ShmObserver* o = observer()) {
+    o->on_acquire({SyncPoint::Kind::kPartition, &p, client_id});
+  }
   // Only this client bumps this partition's head, so plain loads suffice
   // for the decision; the server only ever decrements `live`.
   if (p.live.load(std::memory_order_acquire) == 0) {
@@ -153,8 +182,79 @@ Result<Block> SharedBuffer::allocate_partitioned(Bytes size, int client_id) {
 
 void SharedBuffer::deallocate_partitioned(const Block& block) {
   Partition& p = *partitions_[block.client_id];
+  if (ShmObserver* o = observer()) {
+    o->on_release({SyncPoint::Kind::kPartition, &p, block.client_id});
+  }
   p.live.fetch_sub(block.size, std::memory_order_release);
   account_free(block.size);
+}
+
+Status SharedBuffer::check_integrity() const {
+  const Bytes used_now = used();
+  if (used_now > capacity_) {
+    return internal_error("used " + std::to_string(used_now) +
+                          " exceeds capacity " + std::to_string(capacity_) +
+                          " (accounting underflow)");
+  }
+  if (policy_ == AllocPolicy::kMutexFirstFit) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bytes total_free = 0;
+    Bytes prev_end = 0;
+    bool first = true;
+    for (const auto& [offset, length] : free_by_offset_) {
+      if (length == 0) {
+        return internal_error("free list holds an empty region at offset " +
+                              std::to_string(offset));
+      }
+      if (offset + length < offset || offset + length > capacity_) {
+        return internal_error("free region [" + std::to_string(offset) +
+                              ", +" + std::to_string(length) +
+                              ") exceeds capacity");
+      }
+      if (!first && offset < prev_end) {
+        return internal_error("free regions overlap at offset " +
+                              std::to_string(offset) +
+                              " (double release corrupted the free list)");
+      }
+      if (!first && offset == prev_end) {
+        return internal_error("adjacent free regions not coalesced at offset " +
+                              std::to_string(offset));
+      }
+      prev_end = offset + length;
+      total_free += length;
+      first = false;
+    }
+    if (total_free + used_now != capacity_) {
+      return internal_error(
+          "free (" + std::to_string(total_free) + ") + used (" +
+          std::to_string(used_now) + ") != capacity (" +
+          std::to_string(capacity_) + ") — blocks lost or freed twice");
+    }
+    return Status::ok();
+  }
+  Bytes total_live = 0;
+  for (int c = 0; c < num_clients_; ++c) {
+    const Partition& p = *partitions_[c];
+    const Bytes head = p.head.load(std::memory_order_relaxed);
+    const Bytes live = p.live.load(std::memory_order_relaxed);
+    if (head > p.length) {
+      return internal_error("partition " + std::to_string(c) +
+                            ": head past partition end");
+    }
+    if (live > head) {
+      return internal_error(
+          "partition " + std::to_string(c) + ": live " + std::to_string(live) +
+          " exceeds head " + std::to_string(head) +
+          " (double release underflowed the live counter)");
+    }
+    total_live += live;
+  }
+  if (total_live != used_now) {
+    return internal_error("partition live sum (" + std::to_string(total_live) +
+                          ") disagrees with used (" + std::to_string(used_now) +
+                          ")");
+  }
+  return Status::ok();
 }
 
 }  // namespace dmr::shm

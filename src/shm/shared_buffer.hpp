@@ -63,10 +63,25 @@ class SharedBuffer {
 
   /// Declares that the owning client finished writing `block`'s
   /// payload. Pure instrumentation: forwards to the attached observer
-  /// (protocol checker) and is otherwise a no-op.
+  /// (protocol checker, race detector) and is otherwise a no-op.
   void note_write(const Block& block) {
     if (ShmObserver* o = observer()) o->on_write(block);
   }
+
+  /// Declares that the consuming side (the dedicated core) read
+  /// `block`'s payload. Pure instrumentation, like note_write: the race
+  /// detector pairs this read against client writes to the same range.
+  void note_read(const Block& block) {
+    if (ShmObserver* o = observer()) o->on_read(block);
+  }
+
+  /// Validates allocator-internal invariants: free regions sorted,
+  /// disjoint, coalesced and in-bounds (first-fit); 0 <= live <= head
+  /// <= length per partition (partitioned); accounting consistent with
+  /// capacity. Returns the first violated invariant. Cheap enough to
+  /// run after every step of a model-checked scenario; takes the
+  /// allocator lock, so don't call it from an allocation path.
+  Status check_integrity() const;
 
   /// Attaches (or detaches, with nullptr) a protocol observer. The
   /// observer must outlive the buffer or be detached first. Effective
@@ -107,6 +122,7 @@ class SharedBuffer {
 
   Result<Block> allocate_first_fit(Bytes size, int client_id);
   Result<Block> allocate_partitioned(Bytes size, int client_id);
+  void deallocate_once(const Block& block);
   void deallocate_first_fit(const Block& block);
   void deallocate_partitioned(const Block& block);
   void account_alloc(Bytes size);
@@ -123,7 +139,7 @@ class SharedBuffer {
   std::atomic<ShmObserver*> observer_{nullptr};
 
   // --- first-fit state (mutex-protected) ---
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  // mutable: check_integrity() is const
   std::map<Bytes, Bytes> free_by_offset_;  // offset -> length
 
   // --- partitioned state (lock-free per client) ---

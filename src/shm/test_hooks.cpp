@@ -1,0 +1,10 @@
+#include "shm/test_hooks.hpp"
+
+namespace dmr::shm {
+
+TestHooks& test_hooks() {
+  static TestHooks hooks;
+  return hooks;
+}
+
+}  // namespace dmr::shm

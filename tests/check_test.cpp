@@ -51,7 +51,7 @@ TEST(ProtocolChecker, CleanLifecycleHasNoViolations) {
     m.client_id = r.value().client_id;
     m.iteration = it;
     m.block = r.value();
-    queue.push(m);
+    ASSERT_TRUE(queue.push(m));
     auto popped = queue.pop();
     ASSERT_TRUE(popped.has_value());
     buf.deallocate(popped->block);
@@ -107,7 +107,7 @@ TEST(ProtocolChecker, DetectsWriteAfterPublish) {
   m.client_id = 1;
   m.iteration = 7;
   m.block = r.value();
-  queue.push(m);
+  ASSERT_TRUE(queue.push(m));
   buf.note_write(r.value());  // seeded bug: mutating after handoff
 
   auto vs = chk.violations();
@@ -134,7 +134,7 @@ TEST(ProtocolChecker, DetectsConsumeBeforeNotify) {
   m.type = shm::MessageType::kWriteNotification;
   m.client_id = 0;
   m.block = r.value();
-  queue.push(m);        // unobserved queue: checker never sees a publish
+  ASSERT_TRUE(queue.push(m));  // unobserved queue: checker never sees a publish
   chk.observe(queue);   // server's queue is observed from here on
   auto popped = queue.pop();
   ASSERT_TRUE(popped.has_value());
@@ -154,7 +154,7 @@ TEST(ProtocolChecker, DetectsPublishWithoutWrite) {
   shm::Message m;
   m.type = shm::MessageType::kWriteNotification;
   m.block = r.value();
-  queue.push(m);  // no note_write: publishing uninitialized payload
+  ASSERT_TRUE(queue.push(m));  // no note_write: publishing uninitialized payload
   EXPECT_TRUE(
       has_violation(chk.violations(), ViolationKind::kPublishWithoutWrite))
       << chk.report();
@@ -172,7 +172,7 @@ TEST(ProtocolChecker, DetectsReleaseWhilePublished) {
   shm::Message m;
   m.type = shm::MessageType::kWriteNotification;
   m.block = r.value();
-  queue.push(m);
+  ASSERT_TRUE(queue.push(m));
   buf.deallocate(r.value());  // freeing while the server may still read
   EXPECT_TRUE(
       has_violation(chk.violations(), ViolationKind::kReleaseWhilePublished))

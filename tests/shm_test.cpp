@@ -202,7 +202,7 @@ TEST(Partitioned, ProducerConsumerPipeline) {
     Message m;
     m.type = MessageType::kWriteNotification;
     m.block = r.value();
-    queue.push(m);
+    ASSERT_TRUE(queue.push(m));
   }
   queue.close();
   server.join();
@@ -261,7 +261,7 @@ TEST(EventQueue, PushPopFifo) {
   for (int i = 0; i < 5; ++i) {
     Message m;
     m.iteration = i;
-    q.push(m);
+    ASSERT_TRUE(q.push(m));
   }
   for (int i = 0; i < 5; ++i) {
     auto m = q.try_pop();
@@ -281,7 +281,7 @@ TEST(EventQueue, PopBlocksUntilPush) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   Message m;
   m.iteration = 42;
-  q.push(m);
+  ASSERT_TRUE(q.push(m));
   consumer.join();
   EXPECT_TRUE(got.load());
 }
@@ -290,7 +290,7 @@ TEST(EventQueue, CloseDrainsThenEnds) {
   EventQueue q;
   Message m;
   m.iteration = 1;
-  q.push(m);
+  ASSERT_TRUE(q.push(m));
   q.close();
   EXPECT_TRUE(q.pop().has_value());   // drains queued message
   EXPECT_FALSE(q.pop().has_value());  // then reports closed
@@ -335,7 +335,7 @@ TEST(EventQueue, DrainAfterClosePreservesFifoOrder) {
   for (int i = 0; i < 10; ++i) {
     Message m;
     m.iteration = i;
-    q.push(m);
+    ASSERT_TRUE(q.push(m));
   }
   q.close();
   EXPECT_TRUE(q.closed());
@@ -351,7 +351,7 @@ TEST(EventQueue, DrainAfterClosePreservesFifoOrder) {
 TEST(EventQueue, CloseIsIdempotent) {
   EventQueue q;
   Message m;
-  q.push(m);
+  ASSERT_TRUE(q.push(m));
   q.close();
   q.close();  // second close must not disturb the drain
   EXPECT_TRUE(q.pop().has_value());
@@ -373,7 +373,7 @@ TEST(EventQueue, MultiProducerCountsMatch) {
         Message m;
         m.client_id = p;
         m.iteration = i;
-        q.push(m);
+        ASSERT_TRUE(q.push(m));
       }
     });
   }
