@@ -5,6 +5,7 @@
 #   scripts/check.sh --tsan     # ... plus the shm/check suites under TSan
 #   scripts/check.sh --fast     # lint + ASan only (quick local loop)
 #   scripts/check.sh --model    # ... plus the shm-protocol model checker
+#   scripts/check.sh --chaos    # ... plus the fixed-seed fault matrix
 #
 # Each sanitizer gets its own build tree (build-asan, build-ubsan,
 # build-tsan) so trees stay incremental across runs; the model-checking
@@ -19,11 +20,13 @@ JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=0
 RUN_UBSAN=1
 RUN_MODEL=0
+RUN_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --fast) RUN_UBSAN=0 ;;
     --model) RUN_MODEL=1 ;;
+    --chaos) RUN_CHAOS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -55,11 +58,12 @@ if [ "$RUN_UBSAN" = 1 ]; then
 fi
 if [ "$RUN_TSAN" = 1 ]; then
   # The threaded suites: shared-memory layer, protocol checker, the
-  # middleware tests that drive client/server threads, and the lock-free
-  # trace ring's concurrent-writer tests.
+  # middleware tests that drive client/server threads, the lock-free
+  # trace ring's concurrent-writer tests, and one chaos scenario (a
+  # mixed fault plan driven by four real client threads).
   run_sanitized_ctest thread build-tsan \
-    "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism|TraceRing" \
-    shm_test check_test trace_test
+    "FirstFit|Partitioned|EventQueue|AllocatorProperty|ProtocolChecker|Determinism|TraceRing|FaultChaos" \
+    shm_test check_test trace_test fault_test
 fi
 
 # -------------------------------------------- shm-protocol model checking
@@ -73,6 +77,18 @@ if [ "$RUN_MODEL" = 1 ]; then
   cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-mc -j "$JOBS" --target mc_test
   ctest --test-dir build-mc -R '^Mc' --output-on-failure -j "$JOBS"
+fi
+
+# ----------------------------------------------------- chaos harness
+# Fixed-seed fault matrix under the FaultChecker (bench_fault --check):
+# the acceptance plan must recover 100% of iterations with a clean
+# accounting ledger, identically across two runs. Optimized tree, ~60s
+# budget (the workload itself takes a few seconds).
+if [ "$RUN_CHAOS" = 1 ]; then
+  step "chaos (bench_fault --check, build-mc)"
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-mc -j "$JOBS" --target bench_fault
+  ./build-mc/bench/bench_fault build-mc/BENCH_fault.json --check
 fi
 
 step "all checks passed"

@@ -9,6 +9,7 @@
 #   scripts/ci.sh --no-bench    # skip the BENCH_pipeline.json snapshot
 #   scripts/ci.sh --no-docs     # skip the EXPERIMENTS.md drift gate
 #   scripts/ci.sh --no-model    # skip the shm-protocol model-checking stage
+#   scripts/ci.sh --no-chaos    # skip the fixed-seed fault-injection matrix
 #
 # Extra flags are passed through to scripts/check.sh. Exits non-zero on
 # the first failing step.
@@ -19,18 +20,23 @@ JOBS="${JOBS:-$(nproc)}"
 RUN_BENCH=1
 RUN_DOCS=1
 RUN_MODEL=1
+RUN_CHAOS=1
 CHECK_ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --no-bench) RUN_BENCH=0 ;;
     --no-docs) RUN_DOCS=0 ;;
     --no-model) RUN_MODEL=0 ;;
-    --fast) RUN_MODEL=0; CHECK_ARGS+=("$arg") ;;
+    --no-chaos) RUN_CHAOS=0 ;;
+    --fast) RUN_MODEL=0; RUN_CHAOS=0; CHECK_ARGS+=("$arg") ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
 done
 if [ "$RUN_MODEL" = 1 ]; then
   CHECK_ARGS+=("--model")
+fi
+if [ "$RUN_CHAOS" = 1 ]; then
+  CHECK_ARGS+=("--chaos")
 fi
 
 step() { printf '\n==== %s ====\n' "$*"; }

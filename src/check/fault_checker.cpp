@@ -1,0 +1,118 @@
+#include "check/fault_checker.hpp"
+
+#include <sstream>
+
+namespace dmr::check {
+
+std::string_view write_outcome_name(WriteOutcome o) {
+  switch (o) {
+    case WriteOutcome::kPublished: return "published";
+    case WriteOutcome::kSyncWritten: return "sync-written";
+    case WriteOutcome::kDropped: return "dropped";
+    case WriteOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void FaultChecker::watch(shm::SharedBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(&buffer);
+}
+
+void FaultChecker::note_write(int client, std::int64_t it,
+                              WriteOutcome outcome) {
+  (void)client;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (outcome) {
+    case WriteOutcome::kPublished: ++ledger_[it].published; break;
+    case WriteOutcome::kSyncWritten: ++sync_written_; break;
+    case WriteOutcome::kDropped: ++dropped_; break;
+    case WriteOutcome::kFailed: ++failed_writes_; break;
+  }
+}
+
+void FaultChecker::note_superseded(std::int64_t it) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ledger_[it].superseded;
+}
+
+void FaultChecker::note_persist(int shard, std::int64_t it, int blocks,
+                                const Status& status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int seen = ++persist_seen_[{shard, it}];
+  if (seen > 1) {
+    std::ostringstream os;
+    os << "double persist: shard " << shard << " persisted iteration " << it
+       << " " << seen << " times";
+    early_violations_.push_back(os.str());
+  }
+  Ledger& l = ledger_[it];
+  if (status.is_ok()) {
+    l.persisted += static_cast<std::uint64_t>(blocks);
+  } else {
+    l.failed_persist += static_cast<std::uint64_t>(blocks);
+  }
+}
+
+void FaultChecker::note_retry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++retries_;
+}
+
+FaultChecker::Report FaultChecker::finalize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Report rep;
+  rep.violations = early_violations_;
+  rep.sync_written = sync_written_;
+  rep.dropped = dropped_;
+  rep.failed_writes = failed_writes_;
+  rep.retries = retries_;
+  for (const auto& [it, l] : ledger_) {
+    rep.published += l.published;
+    rep.persisted += l.persisted;
+    rep.superseded += l.superseded;
+    rep.failed_persists += l.failed_persist;
+    const std::uint64_t accounted =
+        l.persisted + l.superseded + l.failed_persist;
+    if (accounted == l.published) continue;
+    std::ostringstream os;
+    if (accounted < l.published) {
+      os << "lost blocks: iteration " << it << " published " << l.published
+         << " but only " << accounted << " accounted for (persisted "
+         << l.persisted << ", superseded " << l.superseded
+         << ", failed " << l.failed_persist << ")";
+    } else {
+      os << "over-persisted: iteration " << it << " published "
+         << l.published << " but " << accounted
+         << " accounted for (persisted " << l.persisted << ", superseded "
+         << l.superseded << ", failed " << l.failed_persist << ")";
+    }
+    rep.violations.push_back(os.str());
+  }
+  for (const shm::SharedBuffer* buf : buffers_) {
+    if (const Bytes used = buf->used(); used != 0) {
+      std::ostringstream os;
+      os << "block leak: shared buffer still holds " << used
+         << " bytes after the run drained";
+      rep.violations.push_back(os.str());
+    }
+  }
+  return rep;
+}
+
+std::string FaultChecker::Report::to_string() const {
+  std::ostringstream os;
+  os << "fault accounting: published " << published << ", persisted "
+     << persisted << ", superseded " << superseded << ", failed persists "
+     << failed_persists << ", sync " << sync_written << ", dropped "
+     << dropped << ", failed writes " << failed_writes << ", retries "
+     << retries << "\n";
+  if (violations.empty()) {
+    os << "fault accounting clean\n";
+  } else {
+    for (const std::string& v : violations) os << "VIOLATION: " << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dmr::check

@@ -1,0 +1,124 @@
+// End-to-end accounting checker for fault-injection runs (ISSUE 5).
+//
+// Under injected faults the middleware is allowed to slow down, retry,
+// fall back to synchronous writes or (opt-in) drop data — but it must
+// never *lose track* of data or leak shared-memory blocks. The
+// FaultChecker keeps a per-iteration ledger fed from both sides of the
+// client/server boundary:
+//
+//   clients   note_write(client, it, outcome)   one entry per variable
+//             block a client handed off, with how it left the client
+//             (published into shm, written synchronously, dropped with
+//             accounting, or failed outright);
+//   server    note_superseded(it)               a published block was
+//             replaced by a rewrite before the server persisted it;
+//             note_persist(shard, it, blocks, status)
+//                                               the persistency layer
+//             finished an iteration (blocks persisted, or a final
+//             error after retries).
+//
+// finalize() then asserts, for every iteration:
+//
+//   published == persisted + superseded + failed_persist     (ledger)
+//
+// A shortfall means blocks vanished (lost data); an excess means
+// something was persisted twice. note_persist() seeing the same
+// (shard, iteration) twice is flagged as a double persist directly.
+// Watched SharedBuffers must also drain to used() == 0 — a nonzero
+// residue after a faulty run is a block leak on some error path.
+//
+// Deliberately independent of src/fault/ (it checks outcomes, not
+// plans), so dmr_check keeps its dependency set unchanged.
+//
+// Thread-safety: every note_* takes an internal mutex; the hooks are
+// per-handoff (not per-byte), so contention is negligible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "shm/shared_buffer.hpp"
+
+namespace dmr::check {
+
+/// How a client's write left the client.
+enum class WriteOutcome {
+  kPublished,    // staged into shm and published to the dedicated core
+  kSyncWritten,  // degraded mode: written synchronously, bypassing shm
+  kDropped,      // degraded mode: dropped with accounting
+  kFailed,       // failed outright (no fallback allowed)
+};
+
+std::string_view write_outcome_name(WriteOutcome o);
+
+class FaultChecker {
+ public:
+  FaultChecker() = default;
+
+  FaultChecker(const FaultChecker&) = delete;
+  FaultChecker& operator=(const FaultChecker&) = delete;
+
+  /// Registers `buffer` for the end-of-run leak check (not owned; must
+  /// outlive finalize()).
+  void watch(shm::SharedBuffer& buffer);
+
+  /// One variable block left client `client` in iteration `it`.
+  void note_write(int client, std::int64_t it, WriteOutcome outcome);
+
+  /// A published block of iteration `it` was replaced by a rewrite
+  /// before the server persisted it (MetadataManager replacement).
+  void note_superseded(std::int64_t it);
+
+  /// The persistency layer finished iteration `it` of `shard`: `blocks`
+  /// blocks covered, `status` the final outcome after retries.
+  void note_persist(int shard, std::int64_t it, int blocks,
+                    const Status& status);
+
+  /// A persistency retry fired (for reporting only).
+  void note_retry();
+
+  struct Report {
+    std::vector<std::string> violations;
+    std::uint64_t published = 0;
+    std::uint64_t sync_written = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t failed_writes = 0;
+    std::uint64_t persisted = 0;
+    std::uint64_t superseded = 0;
+    std::uint64_t failed_persists = 0;  // blocks in failed iterations
+    std::uint64_t retries = 0;
+
+    bool clean() const { return violations.empty(); }
+    /// Multi-line human-readable summary ("fault accounting clean" when
+    /// no violation).
+    std::string to_string() const;
+  };
+
+  /// Runs the ledger and leak checks and returns the full report.
+  /// Call once, after the workload quiesced (node finalized).
+  Report finalize() const;
+
+ private:
+  struct Ledger {
+    std::uint64_t published = 0;
+    std::uint64_t persisted = 0;
+    std::uint64_t superseded = 0;
+    std::uint64_t failed_persist = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, Ledger> ledger_;  // per iteration
+  std::map<std::pair<int, std::int64_t>, int> persist_seen_;
+  std::vector<std::string> early_violations_;  // double persists
+  std::uint64_t sync_written_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t failed_writes_ = 0;
+  std::uint64_t retries_ = 0;
+  std::vector<shm::SharedBuffer*> buffers_;
+};
+
+}  // namespace dmr::check

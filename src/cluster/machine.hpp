@@ -69,6 +69,17 @@ class Machine {
 
   std::uint64_t seed() const { return seed_; }
 
+  /// Wires a fault injector into the network fabric: net.degrade windows
+  /// inflate transfers on the storage network and every node NIC. Null
+  /// detaches. The file system wires its own servers separately
+  /// (SimFs::set_fault_injector).
+  void set_fault_injector(const fault::FaultInjector* injector) {
+    storage_network_.set_fault(injector, fault::Site::kNetDegrade);
+    for (auto& n : nodes_) {
+      n->nic().set_fault(injector, fault::Site::kNetDegrade);
+    }
+  }
+
  private:
   des::Engine* eng_;
   PlatformSpec spec_;

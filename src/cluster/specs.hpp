@@ -91,6 +91,11 @@ struct FsSpec {
   /// path is single-threaded on one core): even a lone writer cannot
   /// push faster than this. 0 disables the cap.
   double client_stream_rate = 0.0;
+  /// Total usable file-system capacity. Writes that would exceed it
+  /// fail with kNoSpace (ENOSPC). 0 means unbounded (the default; real
+  /// deployments only hit this when a foreign job fills the scratch
+  /// space, which is what the fault plans model).
+  Bytes capacity = 0;
 };
 
 /// Interconnect between nodes (used by collective aggregation).

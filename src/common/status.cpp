@@ -11,6 +11,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
     case ErrorCode::kResourceBusy: return "RESOURCE_BUSY";
     case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
     case ErrorCode::kCorruptData: return "CORRUPT_DATA";
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";

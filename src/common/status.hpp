@@ -19,6 +19,7 @@ enum class ErrorCode {
   kOutOfMemory,      // shared buffer exhausted
   kResourceBusy,
   kIoError,
+  kNoSpace,          // file system full (ENOSPC)
   kCorruptData,
   kFailedPrecondition,
   kUnimplemented,
@@ -98,6 +99,9 @@ inline Status resource_busy(std::string msg) {
 }
 inline Status io_error(std::string msg) {
   return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status no_space(std::string msg) {
+  return Status(ErrorCode::kNoSpace, std::move(msg));
 }
 inline Status corrupt_data(std::string msg) {
   return Status(ErrorCode::kCorruptData, std::move(msg));

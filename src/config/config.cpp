@@ -28,6 +28,40 @@ Status parse_dimensions(const std::string& s,
   return Status::ok();
 }
 
+/// Strict decimal parse ("0.25", "5", "1e-3"); rejects trailing junk.
+Status parse_double(const std::string& s, const std::string& what,
+                    double& out) {
+  char* endp = nullptr;
+  const double v = std::strtod(s.c_str(), &endp);
+  if (endp == s.c_str() || *endp != '\0') {
+    return invalid_argument("bad " + what + " '" + s + "'");
+  }
+  out = v;
+  return Status::ok();
+}
+
+Status parse_int(const std::string& s, const std::string& what, int& out) {
+  char* endp = nullptr;
+  const long v = std::strtol(s.c_str(), &endp, 10);
+  if (endp == s.c_str() || *endp != '\0') {
+    return invalid_argument("bad " + what + " '" + s + "'");
+  }
+  out = static_cast<int>(v);
+  return Status::ok();
+}
+
+Status parse_bool(const std::string& s, const std::string& what, bool& out) {
+  if (s == "true" || s == "1") {
+    out = true;
+  } else if (s == "false" || s == "0") {
+    out = false;
+  } else {
+    return invalid_argument("bad " + what + " '" + s +
+                            "' (expected true/false)");
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
 const LayoutDecl* Config::find_layout(const std::string& name) const {
@@ -169,6 +203,122 @@ Result<Config> Config::from_xml(const XmlNode& root) {
     }
     if (!cfg.parameters_.emplace(decl.name, decl).second) {
       return invalid_argument("duplicate parameter '" + decl.name + "'");
+    }
+  }
+
+  // <fault seed="42"><inject site="storage.write" rate="0.25" at="5"
+  // for="2" stall="0.01" factor="4"/></fault> — a seeded, reproducible
+  // fault schedule. Malformed rules (unknown sites, negative rates,
+  // windows without length) are rejected here, not at injection time.
+  if (const XmlNode* fault = root.child("fault")) {
+    if (const std::string* seed = fault->attr("seed")) {
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(seed->c_str(), &endp, 10);
+      if (endp == seed->c_str() || *endp != '\0' || v == 0) {
+        return invalid_argument("bad fault seed '" + *seed + "'");
+      }
+      cfg.fault_plan_.seed = v;
+    }
+    for (const XmlNode* n : fault->children_named("inject")) {
+      fault::FaultSpec spec;
+      const std::string* site = n->attr("site");
+      if (!site) return invalid_argument("<inject> without site");
+      if (!fault::parse_site(*site, spec.site)) {
+        return invalid_argument("unknown fault site '" + *site + "'");
+      }
+      Status s = Status::ok();
+      if (const std::string* a = n->attr("rate")) {
+        s = parse_double(*a, "fault rate", spec.rate);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = n->attr("at")) {
+        s = parse_double(*a, "fault window start", spec.window_start);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = n->attr("for")) {
+        s = parse_double(*a, "fault window length", spec.window_length);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = n->attr("stall")) {
+        s = parse_double(*a, "fault stall", spec.stall_seconds);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = n->attr("factor")) {
+        s = parse_double(*a, "fault factor", spec.factor);
+        if (!s.is_ok()) return s;
+      }
+      cfg.fault_plan_.faults.push_back(spec);
+    }
+    if (Status s = cfg.fault_plan_.validate(); !s.is_ok()) return s;
+  }
+
+  // <resilience><retry attempts=".."/><degrade sync="true"/></resilience>
+  if (const XmlNode* res = root.child("resilience")) {
+    if (const XmlNode* retry = res->child("retry")) {
+      fault::RetryPolicy& p = cfg.resilience_.retry;
+      Status s = Status::ok();
+      if (const std::string* a = retry->attr("attempts")) {
+        s = parse_int(*a, "retry attempts", p.max_attempts);
+        if (!s.is_ok()) return s;
+        if (p.max_attempts < 1) {
+          return invalid_argument("retry attempts must be >= 1");
+        }
+      }
+      if (const std::string* a = retry->attr("base_delay")) {
+        s = parse_double(*a, "retry base_delay", p.base_delay);
+        if (!s.is_ok()) return s;
+        if (p.base_delay <= 0.0) {
+          return invalid_argument("retry base_delay must be > 0");
+        }
+      }
+      if (const std::string* a = retry->attr("max_delay")) {
+        s = parse_double(*a, "retry max_delay", p.max_delay);
+        if (!s.is_ok()) return s;
+        if (p.max_delay < p.base_delay) {
+          return invalid_argument("retry max_delay must be >= base_delay");
+        }
+      }
+      if (const std::string* a = retry->attr("deadline")) {
+        s = parse_double(*a, "retry deadline", p.deadline);
+        if (!s.is_ok()) return s;
+        if (p.deadline < 0.0) {
+          return invalid_argument("retry deadline must be >= 0");
+        }
+      }
+    }
+    if (const XmlNode* deg = res->child("degrade")) {
+      fault::DegradePolicy& p = cfg.resilience_.degrade;
+      Status s = Status::ok();
+      if (const std::string* a = deg->attr("block_timeout_ms")) {
+        s = parse_int(*a, "degrade block_timeout_ms", p.block_timeout_ms);
+        if (!s.is_ok()) return s;
+        if (p.block_timeout_ms < -1) {
+          return invalid_argument(
+              "degrade block_timeout_ms must be >= -1");
+        }
+      }
+      if (const std::string* a = deg->attr("sync")) {
+        s = parse_bool(*a, "degrade sync", p.allow_sync);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = deg->attr("drop")) {
+        s = parse_bool(*a, "degrade drop", p.allow_drop);
+        if (!s.is_ok()) return s;
+      }
+      if (const std::string* a = deg->attr("trip")) {
+        s = parse_int(*a, "degrade trip", p.trip_threshold);
+        if (!s.is_ok()) return s;
+        if (p.trip_threshold < 1) {
+          return invalid_argument("degrade trip must be >= 1");
+        }
+      }
+      if (const std::string* a = deg->attr("clear")) {
+        s = parse_int(*a, "degrade clear", p.clear_threshold);
+        if (!s.is_ok()) return s;
+        if (p.clear_threshold < 1) {
+          return invalid_argument("degrade clear must be >= 1");
+        }
+      }
     }
   }
 

@@ -27,6 +27,8 @@
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "config/xml.hpp"
+#include "fault/degrade.hpp"
+#include "fault/fault.hpp"
 #include "format/types.hpp"
 
 namespace dmr::config {
@@ -93,6 +95,15 @@ class Config {
   /// Layout of a variable (resolves the reference); nullptr if unknown.
   const format::Layout* layout_of(const std::string& variable) const;
 
+  /// Seeded fault schedule from the <fault> section; empty() when the
+  /// configuration injects nothing. Always valid (validate() OK) —
+  /// malformed plans are rejected at parse time.
+  const fault::FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Retry/degraded-mode policies from the <resilience> section;
+  /// defaults (retries disabled, no fallbacks) when absent.
+  const fault::ResilienceConfig& resilience() const { return resilience_; }
+
  private:
   static Result<Config> from_xml(const XmlNode& root);
 
@@ -103,6 +114,8 @@ class Config {
   std::map<std::string, VariableDecl> variables_;
   std::map<std::string, EventDecl> events_;
   std::map<std::string, ParameterDecl> parameters_;
+  fault::FaultPlan fault_plan_;
+  fault::ResilienceConfig resilience_;
 };
 
 }  // namespace dmr::config

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "common/log.hpp"
+#include "trace/tracer.hpp"
 
 namespace dmr::core {
 
@@ -20,6 +22,17 @@ shm::AllocPolicy policy_from(const config::Config& cfg) {
   return cfg.buffer_policy() == "partitioned"
              ? shm::AllocPolicy::kPartitioned
              : shm::AllocPolicy::kMutexFirstFit;
+}
+
+/// Fault-category instant on the node's lane (no-op when untraced).
+void trace_fault(int node_id, const char* name, std::int64_t iteration) {
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kFault)) {
+    tr->record_instant({trace::EntityType::kNode,
+                        static_cast<std::uint32_t>(node_id)},
+                       trace::Category::kFault, name, tr->wall_now(), 0,
+                       static_cast<std::int32_t>(iteration));
+  }
 }
 
 }  // namespace
@@ -71,6 +84,27 @@ DamarisNode::DamarisNode(config::Config cfg, int num_clients,
   }
   register_builtin_actions();
   server_stats_.shards = shards;
+
+  // Resilience policy: explicit NodeOptions override wins, else the
+  // configuration's <resilience> section (defaults reproduce the
+  // historical behaviour: no retries, no fallbacks).
+  resilience_ = opts_.resilience ? *opts_.resilience : cfg_.resilience();
+  // Fault injector: explicit NodeOptions override wins, else build one
+  // from the configuration's <fault> plan (none = fault-free).
+  if (opts_.injector != nullptr) {
+    injector_ = opts_.injector;
+  } else if (!cfg_.fault_plan().empty()) {
+    owned_injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault_plan());
+    injector_ = owned_injector_.get();
+  }
+  buffer_->set_fault_injector(injector_);
+  degrade_ = std::make_unique<fault::DegradeController>(resilience_.degrade,
+                                                        opts_.node_id);
+  for (auto& shard : shards_) {
+    shard->persistency.set_resilience(resilience_.retry);
+    shard->persistency.set_fault_injector(injector_);
+  }
+  if (opts_.fault_checker != nullptr) opts_.fault_checker->watch(*buffer_);
 
   if (opts_.protocol_check) {
     checker_ = std::make_unique<check::ProtocolChecker>();
@@ -135,8 +169,11 @@ ServerStats DamarisNode::stats() const {
     s.persistency.datasets_written += p.datasets_written;
     s.persistency.raw_bytes += p.raw_bytes;
     s.persistency.stored_bytes += p.stored_bytes;
+    s.persistency.retries += p.retries;
+    s.persistency.failed_writes += p.failed_writes;
     s.stages.merge(shard->persistency.stage_stats());
   }
+  s.degrade = degrade_->stats();
   // Ingest is what the clients paid to hand their data over.
   for (const ClientStats& c : client_stats_) {
     iopath::StageCounters& ingest = s.stages.of(iopath::StageKind::kIngest);
@@ -256,6 +293,9 @@ void DamarisNode::handle_message(Shard& shard, const shm::Message& msg) {
       }
       if (auto replaced = shard.metadata.add(std::move(block))) {
         buffer_->deallocate(replaced->block);
+        if (opts_.fault_checker != nullptr) {
+          opts_.fault_checker->note_superseded(replaced->iteration);
+        }
       }
       break;
     }
@@ -265,7 +305,9 @@ void DamarisNode::handle_message(Shard& shard, const shm::Message& msg) {
       if (name == "..end_iteration") {
         if (++shard.end_counts[msg.iteration] == shard.clients) {
           shard.end_counts.erase(msg.iteration);
+          maybe_crash(shard, msg.iteration);
           complete_iteration(shard, msg.iteration);
+          maybe_close_queue(shard, msg.iteration);
         }
         break;
       }
@@ -327,21 +369,86 @@ void DamarisNode::complete_iteration(Shard& shard, std::int64_t iteration) {
   for (const auto& b : blocks) rec.raw_bytes += b.size;
 
   const auto t0 = Clock::now();
+  Status persist_status = Status::ok();
   if (opts_.persist_on_end_iteration) {
-    Status s = shard.persistency.write_blocks(iteration, blocks, *buffer_,
-                                              cfg_);
-    if (!s.is_ok()) {
+    const std::uint64_t retries_before = shard.persistency.stats().retries;
+    persist_status =
+        shard.persistency.write_blocks(iteration, blocks, *buffer_, cfg_);
+    if (!persist_status.is_ok()) {
       DMR_LOG(kError, "damaris")
           << "persist failed for iteration " << iteration << ": "
-          << s.to_string();
+          << persist_status.to_string();
+    }
+    if (opts_.fault_checker != nullptr) {
+      const std::uint64_t retried =
+          shard.persistency.stats().retries - retries_before;
+      for (std::uint64_t i = 0; i < retried; ++i) {
+        opts_.fault_checker->note_retry();
+      }
+      opts_.fault_checker->note_persist(shard.id, iteration,
+                                        static_cast<int>(blocks.size()),
+                                        persist_status);
     }
   }
   rec.write_seconds = seconds_since(t0);
+  rec.persisted = persist_status.is_ok();
 
   for (const auto& b : blocks) buffer_->deallocate(b.block);
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (!persist_status.is_ok()) {
+    ++server_stats_.failed_iterations;
+    if (server_stats_.first_error.is_ok()) {
+      server_stats_.first_error = persist_status;
+    }
+  }
   server_stats_.iterations.push_back(rec);
+}
+
+void DamarisNode::maybe_crash(Shard& shard, std::int64_t iteration) {
+  if (injector_ == nullptr ||
+      !injector_->fires(fault::Site::kCoreCrash,
+                        static_cast<double>(iteration),
+                        fault::mix_key(static_cast<std::uint64_t>(shard.id),
+                                       static_cast<std::uint64_t>(iteration)))) {
+    return;
+  }
+  double stall = injector_->stall_of(fault::Site::kCoreCrash);
+  if (stall <= 0.0) stall = 0.005;
+  DMR_LOG(kWarn, "damaris") << "injected crash of shard " << shard.id
+                            << " at iteration " << iteration << " ("
+                            << stall << " s restart)";
+  degrade_->on_server_down();
+  const double t0 = [] {
+    if (trace::Tracer* tr = trace::current()) return tr->wall_now();
+    return 0.0;
+  }();
+  std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+  degrade_->on_server_up();
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kFault)) {
+    tr->record_span({trace::EntityType::kNode,
+                     static_cast<std::uint32_t>(opts_.node_id)},
+                    trace::Category::kFault, "core-restart", t0,
+                    tr->wall_now() - t0, 0,
+                    static_cast<std::int32_t>(iteration));
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++server_stats_.crashes;
+}
+
+void DamarisNode::maybe_close_queue(Shard& shard, std::int64_t iteration) {
+  if (injector_ == nullptr ||
+      !injector_->fires(fault::Site::kShmQueueClose,
+                        static_cast<double>(iteration),
+                        fault::mix_key(static_cast<std::uint64_t>(shard.id),
+                                       static_cast<std::uint64_t>(iteration)))) {
+    return;
+  }
+  DMR_LOG(kWarn, "damaris") << "injected queue close of shard " << shard.id
+                            << " after iteration " << iteration;
+  trace_fault(opts_.node_id, "queue-close", iteration);
+  shard.queue.close();
 }
 
 void DamarisNode::register_builtin_actions() {
@@ -375,8 +482,14 @@ void DamarisNode::register_builtin_actions() {
 
 // ---------------------------------------------------------------- client
 
+std::chrono::milliseconds DamarisNode::block_timeout() const {
+  return resilience_.degrade.block_timeout_ms >= 0
+             ? std::chrono::milliseconds(resilience_.degrade.block_timeout_ms)
+             : opts_.alloc_timeout;
+}
+
 Result<shm::Block> DamarisNode::blocking_allocate(Bytes size, int client) {
-  const auto deadline = Clock::now() + opts_.alloc_timeout;
+  const auto deadline = Clock::now() + block_timeout();
   bool stalled = false;
   for (;;) {
     auto r = buffer_->allocate(size, client);
@@ -414,24 +527,8 @@ Status Client::write_sized(const std::string& variable,
   const auto t0 = Clock::now();
   const std::uint32_t id = node_->name_id(variable);
   if (id == ~0u) return not_found("variable '" + variable + "' unknown");
-  auto block = node_->blocking_allocate(data.size(), id_);
-  if (!block.is_ok()) return block.status();
-  std::memcpy(node_->buffer_->data(block.value()), data.data(), data.size());
-  node_->buffer_->note_write(block.value());
-
-  shm::Message msg;
-  msg.type = shm::MessageType::kWriteNotification;
-  msg.client_id = id_;
-  msg.iteration = iteration;
-  msg.name_id = id;
-  msg.block = block.value();
-  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
-    // Dropped: the server is shutting down and will never consume this
-    // block, so the pusher must release it or it leaks until shutdown.
-    node_->buffer_->deallocate(block.value());
-    return resource_busy("write of '" + variable +
-                         "' dropped: server queue already closed");
-  }
+  Status st = node_->client_write(id_, id, iteration, data);
+  if (!st.is_ok()) return st;
 
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
   std::lock_guard<std::mutex> lock(node_->stats_mutex_);
@@ -440,6 +537,145 @@ Status Client::write_sized(const std::string& variable,
   cs.bytes_written += data.size();
   cs.write_seconds += dt;
   cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
+  return Status::ok();
+}
+
+Status DamarisNode::client_write(int client, std::uint32_t name_id,
+                                 std::int64_t iteration,
+                                 std::span<const std::byte> data) {
+  const std::string& variable = names_.at(name_id);
+
+  // Stage the block into shared memory. Three ways this can come back
+  // without a block, all funnelled through the degrade controller:
+  // an injected exhaustion window, a real exhaustion (timeout), or —
+  // in an already-degraded mode — a single failed probe (no blocking
+  // wait: a degraded client must not stall the simulation).
+  Result<shm::Block> block = [&]() -> Result<shm::Block> {
+    if (injector_ != nullptr &&
+        injector_->fires_window(fault::Site::kShmExhaust,
+                                static_cast<double>(iteration))) {
+      return out_of_memory("injected shm exhaustion window at iteration " +
+                           std::to_string(iteration));
+    }
+    if (degrade_->mode() != fault::DegradeMode::kNormal) {
+      return buffer_->allocate(data.size(), client);
+    }
+    return blocking_allocate(data.size(), client);
+  }();
+
+  if (block.is_ok()) {
+    std::memcpy(buffer_->data(block.value()), data.data(), data.size());
+    buffer_->note_write(block.value());
+
+    shm::Message msg;
+    msg.type = shm::MessageType::kWriteNotification;
+    msg.client_id = client;
+    msg.iteration = iteration;
+    msg.name_id = name_id;
+    msg.block = block.value();
+    if (shards_[shard_of(client)]->queue.push(msg)) {
+      degrade_->on_clear();
+      if (opts_.fault_checker != nullptr) {
+        opts_.fault_checker->note_write(client, iteration,
+                                        check::WriteOutcome::kPublished);
+      }
+      return Status::ok();
+    }
+    // Dropped: the server is shutting down and will never consume this
+    // block, so the pusher must release it or it leaks until shutdown.
+    buffer_->deallocate(block.value());
+    const Status cause = resource_busy(
+        "write of '" + variable + "' dropped: server queue already closed");
+    return degraded_write(client, name_id, iteration, data,
+                          degrade_->on_pressure(), cause);
+  }
+
+  if (block.status().code() != ErrorCode::kOutOfMemory) {
+    return block.status();
+  }
+  return degraded_write(client, name_id, iteration, data,
+                        degrade_->on_pressure(), block.status());
+}
+
+Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
+                                   std::int64_t iteration,
+                                   std::span<const std::byte> data,
+                                   fault::DegradeMode mode,
+                                   const Status& cause) {
+  const auto drop = [&]() -> Status {
+    trace_fault(opts_.node_id, "write-dropped", iteration);
+    if (opts_.fault_checker != nullptr) {
+      opts_.fault_checker->note_write(client, iteration,
+                                      check::WriteOutcome::kDropped);
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++client_stats_[client].dropped_writes;
+    client_stats_[client].dropped_bytes += data.size();
+    return Status::ok();
+  };
+
+  if (mode == fault::DegradeMode::kDrop && resilience_.degrade.allow_drop) {
+    return drop();
+  }
+  if (resilience_.degrade.allow_sync) {
+    Status st = sync_write(client, name_id, iteration, data);
+    if (st.is_ok()) {
+      if (opts_.fault_checker != nullptr) {
+        opts_.fault_checker->note_write(client, iteration,
+                                        check::WriteOutcome::kSyncWritten);
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++client_stats_[client].sync_writes;
+      return Status::ok();
+    }
+    if (resilience_.degrade.allow_drop) return drop();
+    return st;
+  }
+  if (resilience_.degrade.allow_drop) return drop();
+  // No fallback allowed: the historical behaviour — surface the cause.
+  if (opts_.fault_checker != nullptr) {
+    opts_.fault_checker->note_write(client, iteration,
+                                    check::WriteOutcome::kFailed);
+  }
+  return cause;
+}
+
+Status DamarisNode::sync_write(int client, std::uint32_t name_id,
+                               std::int64_t iteration,
+                               std::span<const std::byte> data) {
+  const std::string& variable = names_.at(name_id);
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.output_dir, ec);
+  if (ec) return io_error("cannot create " + opts_.output_dir);
+
+  // One standalone file per degraded write — the per-process small-file
+  // pattern the dedicated core normally avoids (that cost is the point).
+  const std::uint64_t seq =
+      sync_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      opts_.output_dir + "/" + opts_.file_prefix + "_node" +
+      std::to_string(opts_.node_id) + "_sync_c" + std::to_string(client) +
+      "_it" + std::to_string(iteration) + "_" + std::to_string(seq) + ".dh5";
+  auto writer = format::Dh5Writer::create(path);
+  if (!writer.is_ok()) return writer.status();
+
+  format::DatasetInfo info;
+  info.name = variable;
+  info.iteration = iteration;
+  info.source = client;
+  if (const format::Layout* l = cfg_.layout_of(variable)) info.layout = *l;
+
+  const iopath::CompressionModel model = compression_model_for(cfg_, variable);
+  format::EncodedBuffer encoded = model.codec_pipeline().encode(data);
+  Status st = writer.value().add_encoded(info, encoded, data.size());
+  if (!st.is_ok()) return st;
+  st = writer.value().finalize();
+  if (!st.is_ok()) return st;
+
+  trace_fault(opts_.node_id, "sync-write", iteration);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++server_stats_.sync_files;
+  server_stats_.sync_bytes += data.size();
   return Status::ok();
 }
 

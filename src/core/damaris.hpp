@@ -25,6 +25,7 @@
 //   node.stop();
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -36,12 +37,15 @@
 #include <thread>
 #include <vector>
 
+#include "check/fault_checker.hpp"
 #include "check/protocol_checker.hpp"
 #include "common/status.hpp"
 #include "config/config.hpp"
 #include "core/metadata.hpp"
 #include "core/persistency.hpp"
 #include "core/plugin.hpp"
+#include "fault/degrade.hpp"
+#include "fault/fault.hpp"
 #include "shm/event_queue.hpp"
 #include "shm/shared_buffer.hpp"
 
@@ -64,6 +68,23 @@ struct NodeOptions {
   /// builds; the checker itself costs one mutex per shm operation, so
   /// leave this off for benchmarks.
   bool protocol_check = false;
+
+  /// Retry / degraded-mode policies. When set, overrides the
+  /// configuration's <resilience> section; the defaults (retries
+  /// disabled, no sync/drop fallbacks) reproduce the historical
+  /// behaviour exactly.
+  std::optional<fault::ResilienceConfig> resilience;
+
+  /// Fault injector to drive this node (not owned; must outlive the
+  /// node). When null, the node builds its own injector from the
+  /// configuration's <fault> plan (none = fault-free).
+  const fault::FaultInjector* injector = nullptr;
+
+  /// End-to-end accounting checker (not owned; must outlive stop()).
+  /// The node feeds it client write outcomes, supersessions and
+  /// persistency results, and registers the shared buffer for the leak
+  /// check.
+  check::FaultChecker* fault_checker = nullptr;
 };
 
 /// Outcome of one completed iteration on a dedicated core.
@@ -74,6 +95,8 @@ struct IterationRecord {
   Bytes raw_bytes = 0;
   /// Wall time the dedicated core spent persisting this iteration.
   double write_seconds = 0.0;
+  /// False when the persistency write still failed after all retries.
+  bool persisted = true;
 };
 
 struct ServerStats {
@@ -89,6 +112,20 @@ struct ServerStats {
   /// protocol_check); populated at stop().
   std::uint64_t protocol_violations = 0;
   PersistencyStats persistency;
+
+  /// Iterations whose persistency write failed after all retries, and
+  /// the first such error (satellite of ISSUE 5: persist failures are
+  /// propagated into the results instead of only logged).
+  std::uint64_t failed_iterations = 0;
+  Status first_error = Status::ok();
+  /// Degraded-mode synchronous writes: files written by clients
+  /// bypassing the dedicated core, and their raw payload bytes.
+  std::uint64_t sync_files = 0;
+  Bytes sync_bytes = 0;
+  /// Injected dedicated-core crash/restart cycles.
+  std::uint64_t crashes = 0;
+  /// Degrade-controller transitions (pressure, escalations, recoveries).
+  fault::DegradeStats degrade;
 
   /// Per-stage wall-clock counters of the node's write path: Ingest is
   /// the client-side shm handoff (allocate + memcpy + notify), Transform
@@ -110,6 +147,11 @@ struct ClientStats {
   double write_seconds = 0.0;   // total time spent inside write()/commit()
   double max_write_seconds = 0.0;
   std::uint64_t alloc_stalls = 0;  // writes that had to wait for space
+  /// Degraded-mode outcomes: writes that fell back to the synchronous
+  /// path, and writes dropped with accounting (opt-in last resort).
+  std::uint64_t sync_writes = 0;
+  std::uint64_t dropped_writes = 0;
+  Bytes dropped_bytes = 0;
 };
 
 class DamarisNode;
@@ -258,6 +300,27 @@ class DamarisNode {
   Result<shm::Block> blocking_allocate(Bytes size, int client);
   std::uint32_t name_id(const std::string& name) const;  // ~0u if unknown
 
+  /// Full client write path: stage into shm and publish, or degrade
+  /// (sync passthrough / drop) per the resilience policy.
+  Status client_write(int client, std::uint32_t name_id,
+                      std::int64_t iteration,
+                      std::span<const std::byte> data);
+  /// Fallback after `cause` blocked the normal path, applying `mode`.
+  Status degraded_write(int client, std::uint32_t name_id,
+                        std::int64_t iteration,
+                        std::span<const std::byte> data, fault::DegradeMode mode,
+                        const Status& cause);
+  /// Synchronous passthrough: the client writes its own standalone DH5
+  /// file, bypassing the dedicated core (paper §III "write
+  /// synchronously" option).
+  Status sync_write(int client, std::uint32_t name_id,
+                    std::int64_t iteration, std::span<const std::byte> data);
+  /// Injected dedicated-core crash/restart at an iteration boundary.
+  void maybe_crash(Shard& shard, std::int64_t iteration);
+  /// Injected queue close at an iteration boundary (server gone).
+  void maybe_close_queue(Shard& shard, std::int64_t iteration);
+  std::chrono::milliseconds block_timeout() const;
+
   config::Config cfg_;
   int num_clients_;
   NodeOptions opts_;
@@ -265,6 +328,15 @@ class DamarisNode {
   std::unique_ptr<shm::SharedBuffer> buffer_;
   std::vector<std::unique_ptr<Shard>> shards_;
   PluginRegistry plugins_;
+
+  /// Resolved resilience policy (NodeOptions override or config).
+  fault::ResilienceConfig resilience_;
+  /// Injector built from the config's <fault> plan when NodeOptions
+  /// does not provide one.
+  std::unique_ptr<fault::FaultInjector> owned_injector_;
+  const fault::FaultInjector* injector_ = nullptr;
+  std::unique_ptr<fault::DegradeController> degrade_;
+  std::atomic<std::uint64_t> sync_seq_{0};  // sync-write file names
 
   std::vector<std::string> names_;            // id -> name
   std::map<std::string, std::uint32_t> ids_;  // name -> id

@@ -51,6 +51,43 @@ std::string PersistencyLayer::file_path(std::int64_t iteration) const {
 Status PersistencyLayer::write_blocks(
     std::int64_t iteration, const std::vector<VariableBlock>& blocks,
     const shm::SharedBuffer& buffer, const config::Config& cfg) {
+  const Status s = fault::retry_sync(
+      retry_,
+      fault::mix_key(static_cast<std::uint64_t>(node_id_),
+                     static_cast<std::uint64_t>(iteration)),
+      [&](int attempt) -> Status {
+        if (injector_ != nullptr &&
+            injector_->fires(
+                fault::Site::kStorageWrite, static_cast<double>(iteration),
+                fault::mix_key(static_cast<std::uint64_t>(iteration),
+                               static_cast<std::uint64_t>(attempt)))) {
+          return io_error("injected EIO persisting iteration " +
+                          std::to_string(iteration) + " (attempt " +
+                          std::to_string(attempt) + ")");
+        }
+        return write_blocks_once(iteration, blocks, buffer, cfg);
+      },
+      [&](int attempt, double delay, const Status& last) {
+        (void)delay;
+        ++stats_.retries;
+        if (trace::Tracer* tr = trace::current();
+            tr != nullptr && tr->enabled(trace::Category::kFault)) {
+          tr->record_instant({trace::EntityType::kNode,
+                              static_cast<std::uint32_t>(node_id_)},
+                             trace::Category::kFault, "persist-retry",
+                             tr->wall_now(),
+                             static_cast<std::uint64_t>(attempt),
+                             static_cast<std::int32_t>(iteration));
+        }
+        (void)last;
+      });
+  if (!s.is_ok()) ++stats_.failed_writes;
+  return s;
+}
+
+Status PersistencyLayer::write_blocks_once(
+    std::int64_t iteration, const std::vector<VariableBlock>& blocks,
+    const shm::SharedBuffer& buffer, const config::Config& cfg) {
   std::error_code ec;
   std::filesystem::create_directories(output_dir_, ec);
   if (ec) return io_error("cannot create " + output_dir_);

@@ -11,6 +11,8 @@
 #include "common/status.hpp"
 #include "config/config.hpp"
 #include "core/metadata.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
 #include "format/dh5.hpp"
 #include "iopath/compression_model.hpp"
 #include "iopath/metrics.hpp"
@@ -23,6 +25,10 @@ struct PersistencyStats {
   std::uint64_t datasets_written = 0;
   Bytes raw_bytes = 0;
   Bytes stored_bytes = 0;
+  /// Retries consumed by the bounded-retry policy.
+  std::uint64_t retries = 0;
+  /// Iterations whose write still failed after all retries.
+  std::uint64_t failed_writes = 0;
 
   double compression_ratio() const {
     return stored_bytes == 0
@@ -41,11 +47,24 @@ class PersistencyLayer {
   /// Writes all `blocks` (typically one iteration) into one file, reading
   /// payloads from `buffer`. Pipelines are resolved per variable from
   /// `cfg` ("" = raw, "lossless", "visualization"). Does NOT free the
-  /// blocks — the caller owns shared memory lifetime.
+  /// blocks — the caller owns shared memory lifetime. With a retry
+  /// policy installed, failed attempts back off (decorrelated jitter,
+  /// wall clock) and retry up to the policy's budget; the returned
+  /// status is the final outcome.
   Status write_blocks(std::int64_t iteration,
                       const std::vector<VariableBlock>& blocks,
                       const shm::SharedBuffer& buffer,
                       const config::Config& cfg);
+
+  /// Installs the bounded-retry policy (default: disabled).
+  void set_resilience(const fault::RetryPolicy& retry) { retry_ = retry; }
+
+  /// Attaches a fault injector (null detaches): storage.write rules
+  /// fail individual persistency attempts with kIoError, keyed by
+  /// (iteration, attempt) so a given attempt's fate is reproducible.
+  void set_fault_injector(const fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Path the file for `iteration` is (or would be) written to.
   std::string file_path(std::int64_t iteration) const;
@@ -57,11 +76,18 @@ class PersistencyLayer {
   const iopath::PipelineStats& stage_stats() const { return stage_stats_; }
 
  private:
+  Status write_blocks_once(std::int64_t iteration,
+                           const std::vector<VariableBlock>& blocks,
+                           const shm::SharedBuffer& buffer,
+                           const config::Config& cfg);
+
   std::string output_dir_;
   std::string prefix_;
   int node_id_;
   PersistencyStats stats_;
   iopath::PipelineStats stage_stats_;
+  fault::RetryPolicy retry_;
+  const fault::FaultInjector* injector_ = nullptr;
 };
 
 /// Compression treatment configured for `variable` ("" / "lossless" /

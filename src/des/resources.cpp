@@ -20,8 +20,9 @@ Time ServiceQueue::commit(Bytes bytes, double multiplier, Time extra) {
 Time ServiceQueue::commit_from(Time earliest_start, Bytes bytes,
                                double multiplier, Time extra) {
   const Time start = std::max(earliest_start, free_at_);
-  const Time duration =
-      (overhead_ + extra + static_cast<double>(bytes) / rate_) * multiplier;
+  const Time duration = (overhead_ + extra +
+                         static_cast<double>(bytes) / rate_) *
+                        multiplier * fault_multiplier();
   free_at_ = start + duration;
   total_busy_ += duration;
   ++ops_;
@@ -70,8 +71,12 @@ Time SharedLink::total_busy() const {
 
 void SharedLink::start_flow(Bytes bytes, std::coroutine_handle<> h) {
   advance();
-  flows_.push(Flow{virtual_work_ + static_cast<double>(bytes),
-                   next_flow_seq_++, bytes, eng_->now(), h});
+  double work = static_cast<double>(bytes);
+  if (fault_ != nullptr) {
+    work *= fault_->factor_at(fault_site_, eng_->now());
+  }
+  flows_.push(Flow{virtual_work_ + work, next_flow_seq_++, bytes, eng_->now(),
+                   h});
   reschedule();
 }
 

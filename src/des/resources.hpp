@@ -26,6 +26,7 @@
 
 #include "common/units.hpp"
 #include "des/engine.hpp"
+#include "fault/fault.hpp"
 #include "trace/tracer.hpp"
 
 namespace dmr::des {
@@ -90,9 +91,22 @@ class ServiceQueue {
     trace_label_ = label;
   }
 
+  /// Attaches a fault injector: inside a `site` window (e.g.
+  /// fault::Site::kServerSlow), committed service times are multiplied
+  /// by the rule's factor. Null detaches; pure slowdown, no reordering.
+  void set_fault(const fault::FaultInjector* injector, fault::Site site) {
+    fault_ = injector;
+    fault_site_ = site;
+  }
+
  private:
   void trace_commit(Time earliest_start, Time start, Time duration,
                     Bytes bytes) const;
+
+  double fault_multiplier() const {
+    return fault_ == nullptr ? 1.0 : fault_->factor_at(fault_site_,
+                                                       eng_->now());
+  }
 
   Engine* eng_;
   double rate_;
@@ -102,6 +116,8 @@ class ServiceQueue {
   std::uint64_t ops_ = 0;
   trace::EntityId trace_entity_{};
   const char* trace_label_ = nullptr;
+  const fault::FaultInjector* fault_ = nullptr;
+  fault::Site fault_site_ = fault::Site::kServerSlow;
 };
 
 class SharedLink {
@@ -152,6 +168,16 @@ class SharedLink {
     trace_label_ = label;
   }
 
+  /// Attaches a fault injector: inside a `site` window (e.g.
+  /// fault::Site::kNetDegrade), a joining flow's service demand is
+  /// inflated by the rule's factor — the link behaves as if `factor`
+  /// times the bytes had to traverse it. Delivered-byte accounting is
+  /// unaffected. Null detaches.
+  void set_fault(const fault::FaultInjector* injector, fault::Site site) {
+    fault_ = injector;
+    fault_site_ = site;
+  }
+
  private:
   struct Flow {
     double target_w;  // virtual work at which this flow completes
@@ -187,6 +213,8 @@ class SharedLink {
   bool tick_scheduled_ = false;
   trace::EntityId trace_entity_{};
   const char* trace_label_ = nullptr;
+  const fault::FaultInjector* fault_ = nullptr;
+  fault::Site fault_site_ = fault::Site::kNetDegrade;
 
   friend class TransferAwaiter;
 };

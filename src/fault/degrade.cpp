@@ -1,0 +1,118 @@
+#include "fault/degrade.hpp"
+
+#include "trace/tracer.hpp"
+
+namespace dmr::fault {
+
+namespace {
+
+/// Static-storage transition labels (trace events never copy strings).
+const char* transition_name(DegradeMode to) {
+  switch (to) {
+    case DegradeMode::kNormal: return "degrade:normal";
+    case DegradeMode::kSync: return "degrade:sync";
+    case DegradeMode::kDrop: return "degrade:drop";
+  }
+  return "degrade:?";
+}
+
+}  // namespace
+
+const char* degrade_mode_name(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kNormal: return "normal";
+    case DegradeMode::kSync: return "sync";
+    case DegradeMode::kDrop: return "drop";
+  }
+  return "?";
+}
+
+DegradeController::DegradeController(DegradePolicy policy, int node_id)
+    : policy_(policy), node_id_(node_id) {}
+
+void DegradeController::set_mode_locked(DegradeMode to) {
+  const auto from = static_cast<DegradeMode>(
+      mode_.load(std::memory_order_relaxed));
+  if (from == to) return;
+  if (static_cast<int>(to) > static_cast<int>(from)) {
+    ++stats_.escalations;
+  } else {
+    ++stats_.recoveries;
+  }
+  mode_.store(static_cast<int>(to), std::memory_order_relaxed);
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kFault)) {
+    tr->record_instant(
+        {trace::EntityType::kNode, static_cast<std::uint32_t>(node_id_)},
+        trace::Category::kFault, transition_name(to), tr->wall_now());
+  }
+}
+
+DegradeMode DegradeController::on_pressure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.pressure_events;
+  clear_streak_ = 0;
+  const int streak =
+      pressure_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= policy_.trip_threshold) {
+    pressure_streak_.store(0, std::memory_order_relaxed);
+    const DegradeMode cur = mode();
+    if (cur == DegradeMode::kNormal && policy_.allow_sync) {
+      set_mode_locked(DegradeMode::kSync);
+    } else if (cur != DegradeMode::kDrop && policy_.allow_drop) {
+      set_mode_locked(DegradeMode::kDrop);
+    }
+  }
+  const DegradeMode applied = mode();
+  // A dead dedicated core forces at least the synchronous path: there
+  // is nobody left to drain the queue, so blocking would never clear.
+  if (applied == DegradeMode::kNormal && server_down()) {
+    return DegradeMode::kSync;
+  }
+  return applied;
+}
+
+void DegradeController::on_clear() {
+  // Fast path: nothing to recover and no streak to reset.
+  if (mode() == DegradeMode::kNormal &&
+      pressure_streak_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  pressure_streak_.store(0, std::memory_order_relaxed);
+  if (mode() == DegradeMode::kNormal) return;
+  if (++clear_streak_ >= policy_.clear_threshold) {
+    clear_streak_ = 0;
+    set_mode_locked(mode() == DegradeMode::kDrop ? DegradeMode::kSync
+                                                 : DegradeMode::kNormal);
+  }
+}
+
+void DegradeController::on_server_down() {
+  servers_down_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kFault)) {
+    tr->record_instant(
+        {trace::EntityType::kNode, static_cast<std::uint32_t>(node_id_)},
+        trace::Category::kFault, "server-down", tr->wall_now());
+  }
+}
+
+void DegradeController::on_server_up() {
+  servers_down_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trace::Tracer* tr = trace::current();
+      tr != nullptr && tr->enabled(trace::Category::kFault)) {
+    tr->record_instant(
+        {trace::EntityType::kNode, static_cast<std::uint32_t>(node_id_)},
+        trace::Category::kFault, "server-up", tr->wall_now());
+  }
+}
+
+DegradeStats DegradeController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dmr::fault

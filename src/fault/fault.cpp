@@ -1,0 +1,174 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace dmr::fault {
+
+namespace {
+
+constexpr std::string_view kSiteNames[kNumSites] = {
+    "storage.write", "storage.space", "storage.stall", "net.degrade",
+    "server.slow",   "shm.exhaust",   "shm.close",     "core.crash",
+};
+
+bool has_window(const FaultSpec& s) { return s.window_start >= 0.0; }
+
+}  // namespace
+
+std::string_view site_name(Site site) {
+  const auto i = static_cast<std::size_t>(site);
+  return i < kNumSites ? kSiteNames[i] : "?";
+}
+
+bool parse_site(std::string_view name, Site& out) {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (kSiteNames[i] == name) {
+      out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FaultPlan::validate() const {
+  for (const FaultSpec& s : faults) {
+    const std::string where = "fault rule at site '" +
+                              std::string(site_name(s.site)) + "'";
+    if (s.rate < 0.0 || s.rate > 1.0) {
+      return invalid_argument(where + ": rate must be in [0, 1], got " +
+                              std::to_string(s.rate));
+    }
+    if (has_window(s) && s.window_length <= 0.0) {
+      return invalid_argument(where + ": window needs a positive length");
+    }
+    if (!has_window(s) && s.window_start != -1.0) {
+      return invalid_argument(where + ": negative window start");
+    }
+    if (s.rate == 0.0 && !has_window(s)) {
+      return invalid_argument(where + ": needs a rate or a window");
+    }
+    if (s.stall_seconds < 0.0) {
+      return invalid_argument(where + ": negative stall");
+    }
+    if (s.factor < 1.0) {
+      return invalid_argument(where + ": factor must be >= 1");
+    }
+  }
+  return Status::ok();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  std::size_t index = 0;
+  for (const FaultSpec& s : plan_.faults) {
+    const auto site = static_cast<std::size_t>(s.site);
+    if (site >= kNumSites) continue;
+    // Each rule gets its own keyed-hash stream so two rules on one site
+    // make independent decisions; Rng::for_entity gives the same
+    // anti-correlation guarantees as the simulator's entity streams.
+    Rule r;
+    r.spec = s;
+    r.stream = Rng::for_entity(plan_.seed, 0xFA000000ULL + index).next_u64();
+    by_site_[site].push_back(r);
+    ++index;
+  }
+}
+
+double FaultInjector::draw(std::uint64_t stream, std::uint64_t key) {
+  std::uint64_t state = stream ^ mix_key(key, 0x5DEECE66DULL);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::rule_fires(const Rule& r, double at, bool use_window,
+                               bool use_rate, std::uint64_t key) const {
+  const FaultSpec& s = r.spec;
+  if (has_window(s)) {
+    if (!use_window) return false;
+    if (at < s.window_start || at >= s.window_start + s.window_length) {
+      return false;
+    }
+    // A window-only rule fires for every decision inside the window; a
+    // windowed rate applies the rate inside the window.
+    if (s.rate == 0.0) return true;
+  } else if (!use_rate || s.rate == 0.0) {
+    return false;
+  }
+  return draw(r.stream, key) < s.rate;
+}
+
+bool FaultInjector::fires(Site site, double at, std::uint64_t key) const {
+  const auto i = static_cast<std::size_t>(site);
+  for (const Rule& r : by_site_[i]) {
+    if (rule_fires(r, at, /*use_window=*/true, /*use_rate=*/true, key)) {
+      counts_[i].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::fires_rate(Site site, std::uint64_t key) const {
+  const auto i = static_cast<std::size_t>(site);
+  for (const Rule& r : by_site_[i]) {
+    if (has_window(r.spec)) continue;
+    if (rule_fires(r, 0.0, /*use_window=*/false, /*use_rate=*/true, key)) {
+      counts_[i].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::fires_window(Site site, double at) const {
+  const auto i = static_cast<std::size_t>(site);
+  for (const Rule& r : by_site_[i]) {
+    const FaultSpec& s = r.spec;
+    if (!has_window(s) || s.rate != 0.0) continue;
+    if (at >= s.window_start && at < s.window_start + s.window_length) {
+      counts_[i].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::in_window(Site site, double at) const {
+  for (const Rule& r : by_site_[static_cast<std::size_t>(site)]) {
+    const FaultSpec& s = r.spec;
+    if (has_window(s) && at >= s.window_start &&
+        at < s.window_start + s.window_length) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::stall_of(Site site) const {
+  double stall = 0.0;
+  for (const Rule& r : by_site_[static_cast<std::size_t>(site)]) {
+    stall = std::max(stall, r.spec.stall_seconds);
+  }
+  return stall;
+}
+
+double FaultInjector::factor_at(Site site, double at) const {
+  double factor = 1.0;
+  for (const Rule& r : by_site_[static_cast<std::size_t>(site)]) {
+    const FaultSpec& s = r.spec;
+    if (has_window(s) &&
+        (at < s.window_start || at >= s.window_start + s.window_length)) {
+      continue;
+    }
+    factor = std::max(factor, s.factor);
+  }
+  return factor;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace dmr::fault

@@ -1,0 +1,162 @@
+// Deterministic fault injection (ISSUE 5 tentpole).
+//
+// A FaultPlan is a seeded list of fault rules parsed from the <fault>
+// configuration section; a FaultInjector evaluates the plan at *named
+// fault sites* threaded through the stack:
+//
+//   storage.write   transient EIO on a storage write (sim_fs request,
+//                   persistency attempt)
+//   storage.space   transient ENOSPC (sim_fs capacity model)
+//   storage.stall   a stuck server: the request hangs for `stall` s
+//   net.degrade     link degradation — SharedLink bandwidth divided by
+//                   `factor` inside the window
+//   server.slow     data-server slowdown — ServiceQueue service time
+//                   multiplied by `factor` inside the window
+//   shm.exhaust     shared-buffer exhaustion (rate-keyed per allocation,
+//                   or a window keyed by iteration number)
+//   shm.close       the shard's event queue closes at an iteration
+//                   boundary (server gone mid-run)
+//   core.crash      dedicated-core crash + restart at an iteration
+//                   boundary (the core stalls for `stall` s, clients
+//                   degrade while it is down)
+//
+// Decisions are *keyed*, not drawn from a sequential stream: whether a
+// site fires for (iteration, attempt, client, ...) is a pure hash of
+// (plan seed, site, key). This is what makes schedules reproducible in
+// the real-thread middleware, where the order in which threads reach a
+// site is nondeterministic — the same seed always yields the same fault
+// schedule no matter how the threads interleave. Windows are expressed
+// in the site's natural clock: iteration numbers for the middleware
+// sites (shm.*, core.*, storage.* under persistency), simulated seconds
+// for the DES sites (net.*, server.*, storage.* under fs/sim_fs).
+//
+// Thread-safety: all query methods are const and lock-free; the
+// injected-fault counters are relaxed atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dmr::fault {
+
+enum class Site : int {
+  kStorageWrite = 0,
+  kStorageSpace = 1,
+  kStorageStall = 2,
+  kNetDegrade = 3,
+  kServerSlow = 4,
+  kShmExhaust = 5,
+  kShmQueueClose = 6,
+  kCoreCrash = 7,
+};
+
+inline constexpr int kNumSites = 8;
+
+/// Stable external name ("storage.write", ...) used by config parsing
+/// and reports.
+std::string_view site_name(Site site);
+
+/// Inverse of site_name(); false when `name` is not a known site.
+bool parse_site(std::string_view name, Site& out);
+
+/// One fault rule. A rule needs a probability (`rate` > 0, evaluated
+/// per keyed decision) or a window (`window_start` >= 0 in the site's
+/// clock, covering [window_start, window_start + window_length)), or
+/// both — a rate evaluated only inside the window.
+struct FaultSpec {
+  Site site = Site::kStorageWrite;
+  /// Per-decision probability in [0, 1]; 0 means window-only.
+  double rate = 0.0;
+  /// Window in the site's clock; -1 means no window (rate-only).
+  double window_start = -1.0;
+  double window_length = 0.0;
+  /// Stall faults: how long the site hangs, seconds. For core.crash
+  /// this is the restart delay.
+  double stall_seconds = 0.0;
+  /// Degradation factor (>= 1) for server.slow / net.degrade.
+  double factor = 1.0;
+};
+
+/// A validated, seeded schedule of fault rules.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// Rejects malformed rules: rate outside [0,1], negative windows,
+  /// factor < 1, negative stalls, rules with neither rate nor window.
+  Status validate() const;
+};
+
+/// Mixes two values into one fault-decision key.
+inline std::uint64_t mix_key(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class FaultInjector {
+ public:
+  /// The plan must be valid (validate() OK); invalid rules are skipped.
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Does `site` fire for this decision? True when a rule's window
+  /// contains `at`, or a rule's rate-hash of `key` hits (rules carrying
+  /// both require both). Counts an injection when it fires.
+  bool fires(Site site, double at, std::uint64_t key) const;
+
+  /// Rate-only decision for sites with no meaningful clock at the call
+  /// point (e.g. a shared-buffer allocation). Window-only rules never
+  /// fire here.
+  bool fires_rate(Site site, std::uint64_t key) const;
+
+  /// Window-only decision (e.g. "is iteration `at` inside a forced
+  /// exhaustion window"). Rate-only rules never fire here.
+  bool fires_window(Site site, double at) const;
+
+  /// Pure query: is `at` inside any window of `site`? Never counts.
+  bool in_window(Site site, double at) const;
+
+  /// Stall length configured for `site` (max over its rules); call
+  /// after a fires() decision said the site is stalling.
+  double stall_of(Site site) const;
+
+  /// Degradation multiplier at time/iteration `at`: the max factor over
+  /// rules of `site` whose window contains `at` (also rules with no
+  /// window — a permanent degradation). 1.0 when none apply.
+  double factor_at(Site site, double at) const;
+
+  /// How many times `site` fired so far.
+  std::uint64_t injected(Site site) const {
+    return counts_[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t total_injected() const;
+
+ private:
+  struct Rule {
+    FaultSpec spec;
+    std::uint64_t stream = 0;  // per-rule hash stream seed
+  };
+
+  /// Uniform [0,1) as a pure function of (rule stream, key).
+  static double draw(std::uint64_t stream, std::uint64_t key);
+  bool rule_fires(const Rule& r, double at, bool use_window, bool use_rate,
+                  std::uint64_t key) const;
+
+  FaultPlan plan_;
+  std::array<std::vector<Rule>, kNumSites> by_site_;
+  mutable std::array<std::atomic<std::uint64_t>, kNumSites> counts_{};
+};
+
+}  // namespace dmr::fault

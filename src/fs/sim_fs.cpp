@@ -27,7 +27,8 @@ SimFs::SimFs(cluster::Machine& machine)
       spec_(machine.spec().fs),
       eng_(&machine.engine()),
       mds_noise_(machine.spec().noise,
-                 Rng::for_entity(machine.seed(), 0x4d445300ULL)) {
+                 Rng::for_entity(machine.seed(), 0x4d445300ULL)),
+      capacity_(machine.spec().fs.capacity) {
   servers_.reserve(spec_.data_servers);
   for (int i = 0; i < spec_.data_servers; ++i) {
     servers_.push_back(std::make_unique<Server>(
@@ -45,6 +46,13 @@ SimFs::SimFs(cluster::Machine& machine)
   if (spec_.metadata == cluster::MetadataModel::kSerializedSingleServer) {
     mds_ = std::make_unique<des::ServiceQueue>(*eng_, 1.0);
     mds_->set_trace({trace::EntityType::kMds, 0}, "metadata");
+  }
+}
+
+void SimFs::set_fault_injector(const fault::FaultInjector* injector) {
+  fault_ = injector;
+  for (auto& srv : servers_) {
+    srv->queue.set_fault(injector, fault::Site::kServerSlow);
   }
 }
 
@@ -181,8 +189,34 @@ des::Task<void> SimFs::acquire_lock(int server, const FileHandle& file,
 des::Task<void> SimFs::write(int client_core, FileHandle file,
                              std::uint64_t offset, Bytes bytes,
                              WriteOptions opts) {
+  // Legacy fire-and-forget path: strategies that model infallible
+  // storage keep their exact timeline; fault-aware callers use
+  // try_write() and decide what to do with the status.
+  (void)co_await try_write(client_core, file, offset, bytes, opts);
+}
+
+des::Task<Status> SimFs::try_write(int client_core, FileHandle file,
+                                   std::uint64_t offset, Bytes bytes,
+                                   WriteOptions opts) {
   assert(offset % spec_.stripe_size == 0 &&
          "writes must be stripe-aligned in this model");
+  // Capacity is checked before any simulated time passes: a full file
+  // system rejects the write up front (ENOSPC), it does not stream data
+  // first. Injected storage.space faults model transient exhaustion the
+  // same way.
+  if (capacity_ > 0 && stats_.bytes_written + bytes > capacity_) {
+    ++stats_.enospc_errors;
+    co_return no_space("file system full: " +
+                       std::to_string(stats_.bytes_written) + " + " +
+                       std::to_string(bytes) + " bytes exceeds capacity " +
+                       std::to_string(capacity_));
+  }
+  if (fault_ != nullptr &&
+      fault_->fires(fault::Site::kStorageSpace, eng_->now(),
+                    fault_op_seq_++)) {
+    ++stats_.enospc_errors;
+    co_return no_space("injected ENOSPC");
+  }
   cluster::Node& node = machine_->node_of_core(client_core);
   const std::uint64_t stream_id =
       stream_key(file.id, static_cast<std::uint64_t>(client_core));
@@ -196,6 +230,24 @@ des::Task<void> SimFs::write(int client_core, FileHandle file,
   Bytes sent = 0;
   while (sent < bytes) {
     const Bytes req = std::min<Bytes>(request, bytes - sent);
+    if (fault_ != nullptr) {
+      // Per-request fault decisions: a stuck server hangs the request
+      // for the rule's stall time; a transient EIO kills the write
+      // (bytes streamed so far are lost, nothing is charged against
+      // capacity). Keys are the FS-wide op sequence — deterministic
+      // under the single-threaded DES engine.
+      if (fault_->fires(fault::Site::kStorageStall, eng_->now(),
+                        fault_op_seq_++)) {
+        ++stats_.injected_stalls;
+        co_await eng_->delay(fault_->stall_of(fault::Site::kStorageStall));
+      }
+      if (fault_->fires(fault::Site::kStorageWrite, eng_->now(),
+                        fault_op_seq_++)) {
+        ++stats_.injected_errors;
+        co_return io_error("injected EIO on striped request at offset " +
+                           std::to_string(offset + sent));
+      }
+    }
     const SimTime request_started = eng_->now();
     // Ship the request: data streams cut-through in stripe-sized frames
     // through this node's NIC (shared with the other cores of the node)
@@ -236,6 +288,7 @@ des::Task<void> SimFs::write(int client_core, FileHandle file,
   }
   stats_.bytes_written += bytes;
   co_await eng_->sleep_until(last_completion);
+  co_return Status::ok();
 }
 
 des::Task<void> SimFs::close(int client_core, FileHandle) {

@@ -31,6 +31,7 @@
 #include "common/units.hpp"
 #include "des/resources.hpp"
 #include "des/task.hpp"
+#include "fault/fault.hpp"
 
 namespace dmr::fs {
 
@@ -56,6 +57,9 @@ struct FsStats {
   std::uint64_t write_ops = 0;     // striped server requests
   std::uint64_t stream_switches = 0;
   std::uint64_t lock_revocations = 0;
+  std::uint64_t enospc_errors = 0;     // capacity model + injected ENOSPC
+  std::uint64_t injected_errors = 0;   // injected transient EIO
+  std::uint64_t injected_stalls = 0;   // injected stuck-server stalls
 };
 
 class SimFs {
@@ -75,9 +79,24 @@ class SimFs {
 
   /// Writes `bytes` at `offset` in `file` from `client_core`. Completes
   /// when all striped requests have been serviced by the data servers.
+  /// Errors (capacity exhaustion, injected faults) are swallowed — use
+  /// try_write() when the caller wants to observe and retry them.
   des::Task<void> write(int client_core, FileHandle file,
                         std::uint64_t offset, Bytes bytes,
                         WriteOptions opts = {});
+
+  /// Like write(), but reports failures instead of swallowing them:
+  ///   - kNoSpace when the write would exceed the configured capacity,
+  ///     or an injected storage.space fault fires (checked before any
+  ///     simulated time passes — the client learns ENOSPC up front);
+  ///   - kIoError when an injected storage.write fault hits one of the
+  ///     striped requests (bytes already streamed are lost; nothing is
+  ///     charged against capacity).
+  /// Injected storage.stall faults hang the request for the rule's
+  /// stall time but do not fail it.
+  des::Task<Status> try_write(int client_core, FileHandle file,
+                              std::uint64_t offset, Bytes bytes,
+                              WriteOptions opts = {});
 
   /// Closes the file (small metadata update).
   des::Task<void> close(int client_core, FileHandle file);
@@ -85,6 +104,17 @@ class SimFs {
   const FsStats& stats() const { return stats_; }
   const cluster::FsSpec& spec() const { return spec_; }
   int num_servers() const { return static_cast<int>(servers_.size()); }
+  des::Engine& engine() { return *eng_; }
+
+  /// Total usable capacity; writes past it fail with kNoSpace. 0 means
+  /// unbounded. Seeded from FsSpec::capacity, overridable per run.
+  Bytes capacity() const { return capacity_; }
+  void set_capacity(Bytes capacity) { capacity_ = capacity; }
+
+  /// Attaches a fault injector (null detaches): storage.write /
+  /// storage.space / storage.stall rules hit individual write requests;
+  /// server.slow windows multiply every data server's service times.
+  void set_fault_injector(const fault::FaultInjector* injector);
 
   /// Cumulative busy time of data server `i` (for utilization reports).
   SimTime server_busy(int i) const { return servers_[i]->queue.total_busy(); }
@@ -134,6 +164,9 @@ class SimFs {
   cluster::NoiseModel mds_noise_;
   std::uint64_t next_file_id_ = 1;
   FsStats stats_;
+  Bytes capacity_ = 0;
+  const fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t fault_op_seq_ = 0;  // keys per-request fault decisions
 };
 
 }  // namespace dmr::fs

@@ -26,6 +26,7 @@
 // or live inside one DES engine.
 #pragma once
 
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "des/task.hpp"
 
@@ -76,6 +77,12 @@ struct WriteRequest {
   /// Per-stage-kind time spent by *this* request, filled by the
   /// pipeline runner.
   SimTime stage_seconds[kNumStageKinds] = {};
+
+  /// Outcome of the request: stages that can fail (Storage under fault
+  /// injection) record their final status here; untouched means OK.
+  Status status = Status::ok();
+  /// Storage retries this request consumed (bounded-retry policy).
+  int retries = 0;
 
   SimTime seconds(StageKind k) const { return stage_seconds[stage_index(k)]; }
 };

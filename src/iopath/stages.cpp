@@ -46,7 +46,28 @@ des::Task<void> StorageStage::run(WriteRequest& req) {
   fs::FileHandle h = co_await fs_->create(req.core, stripe_count_);
   fs::WriteOptions opts;
   opts.max_request = max_request_;
-  co_await fs_->write(req.core, h, 0, req.bytes, opts);
+  Status st = co_await fs_->try_write(req.core, h, 0, req.bytes, opts);
+  if (!st.is_ok() && retry_.enabled()) {
+    // Backoff delays are simulated time; the jitter stream is keyed by
+    // (stage seed, source, phase) so a rerun replays identical delays.
+    fault::Backoff backoff(
+        retry_, fault::mix_key(seed_, fault::mix_key(
+                                          static_cast<std::uint64_t>(req.source),
+                                          static_cast<std::uint64_t>(req.phase))));
+    const SimTime t0 = fs_->engine().now();
+    for (int attempt = 2; attempt <= retry_.max_attempts && !st.is_ok();
+         ++attempt) {
+      const double delay = backoff.next();
+      if (retry_.deadline > 0.0 &&
+          fs_->engine().now() - t0 + delay > retry_.deadline) {
+        break;
+      }
+      ++req.retries;
+      co_await fs_->engine().delay(delay);
+      st = co_await fs_->try_write(req.core, h, 0, req.bytes, opts);
+    }
+  }
+  req.status = st;
   co_await fs_->close(req.core, h);
 }
 

@@ -11,6 +11,7 @@
 #include "cluster/machine.hpp"
 #include "des/engine.hpp"
 #include "des/sync.hpp"
+#include "fault/retry.hpp"
 #include "fs/sim_fs.hpp"
 #include "iopath/compression_model.hpp"
 #include "iopath/stage.hpp"
@@ -99,11 +100,19 @@ class ScheduleStage : public Stage {
 };
 
 /// Storage — the parallel-file-system protocol: create a file, issue
-/// the striped writes, close.
+/// the striped writes, close. With a retry policy (default disabled,
+/// which preserves the historical infallible timeline), failed writes
+/// are retried with decorrelated-jitter backoff in *simulated* time,
+/// and the request's status/retries record the outcome.
 class StorageStage : public Stage {
  public:
-  StorageStage(fs::SimFs& fs, int stripe_count, Bytes max_request)
-      : fs_(&fs), stripe_count_(stripe_count), max_request_(max_request) {}
+  StorageStage(fs::SimFs& fs, int stripe_count, Bytes max_request,
+               fault::RetryPolicy retry = {}, std::uint64_t seed = 0)
+      : fs_(&fs),
+        stripe_count_(stripe_count),
+        max_request_(max_request),
+        retry_(retry),
+        seed_(seed) {}
 
   StageKind kind() const override { return StageKind::kStorage; }
   des::Task<void> run(WriteRequest& req) override;
@@ -112,6 +121,8 @@ class StorageStage : public Stage {
   fs::SimFs* fs_;
   int stripe_count_;
   Bytes max_request_;
+  fault::RetryPolicy retry_;
+  std::uint64_t seed_;
 };
 
 /// Storage — ROMIO-style two-phase collective write to one shared file.

@@ -14,7 +14,9 @@ SharedBuffer::SharedBuffer(Bytes capacity, AllocPolicy policy,
     : capacity_(capacity),
       policy_(policy),
       num_clients_(num_clients),
-      memory_(new std::byte[capacity]) {
+      memory_(new std::byte[capacity]),
+      fault_seq_(new std::atomic<std::uint64_t>[
+          static_cast<std::size_t>(num_clients > 0 ? num_clients : 1)]()) {
   assert(num_clients > 0);
   if (policy_ == AllocPolicy::kMutexFirstFit) {
     free_by_offset_.emplace(0, capacity_);
@@ -69,6 +71,17 @@ Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {
   }
   if (client_id < 0 || client_id >= num_clients_) {
     return invalid_argument("client_id out of range");
+  }
+  if (const fault::FaultInjector* inj =
+          fault_.load(std::memory_order_acquire)) {
+    const std::uint64_t seq = fault_seq_[static_cast<std::size_t>(client_id)]
+                                  .fetch_add(1, std::memory_order_relaxed);
+    if (inj->fires_rate(fault::Site::kShmExhaust,
+                        fault::mix_key(static_cast<std::uint64_t>(client_id),
+                                       seq))) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return out_of_memory("injected shm exhaustion");
+    }
   }
   Result<Block> r = policy_ == AllocPolicy::kMutexFirstFit
                         ? allocate_first_fit(size, client_id)

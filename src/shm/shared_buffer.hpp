@@ -25,6 +25,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "shm/observer.hpp"
 
 namespace dmr::shm {
@@ -90,6 +91,15 @@ class SharedBuffer {
     observer_.store(obs, std::memory_order_release);
   }
 
+  /// Attaches (or detaches, with nullptr) a fault injector: rate-based
+  /// shm.exhaust rules fail allocations with kOutOfMemory before the
+  /// allocator runs, keyed by (client, per-client allocation count) so
+  /// a deterministic call sequence replays the same failures. The
+  /// injector must outlive the buffer or be detached first.
+  void set_fault_injector(const fault::FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+
   /// Pointer to the block's memory.
   std::byte* data(const Block& block) {
     return memory_.get() + block.offset;
@@ -137,6 +147,9 @@ class SharedBuffer {
   std::atomic<Bytes> peak_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<ShmObserver*> observer_{nullptr};
+  std::atomic<const fault::FaultInjector*> fault_{nullptr};
+  /// Per-client allocation counters keying injected exhaustion.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> fault_seq_;
 
   // --- first-fit state (mutex-protected) ---
   mutable std::mutex mutex_;  // mutable: check_integrity() is const

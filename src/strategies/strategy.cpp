@@ -93,6 +93,10 @@ class Experiment {
             eng_, std::max(1, cfg_.damaris.coordination_tokens));
       }
     }
+    if (cfg_.injector != nullptr) {
+      machine_.set_fault_injector(cfg_.injector);
+      fs_.set_fault_injector(cfg_.injector);
+    }
     rank_finish_.assign(world_.size(), 0.0);
     build_pipelines();
   }
@@ -140,7 +144,8 @@ class Experiment {
             .add(std::make_unique<iopath::TransformStage>(
                 eng_, cfg_.fpp_compression_model()))
             .add(std::make_unique<iopath::StorageStage>(
-                fs_, /*stripe_count=*/1, cfg_.fpp_request));
+                fs_, /*stripe_count=*/1, cfg_.fpp_request,
+                cfg_.storage_retry, cfg_.seed));
         break;
       case StrategyKind::kCollectiveIo:
         client_pipeline_.add(
@@ -161,7 +166,8 @@ class Experiment {
                 eng_, interval_seconds_ > 0 ? interval_seconds_ : 1.0,
                 num_writers(), d.slot_scheduling, write_tokens_.get()))
             .add(std::make_unique<iopath::StorageStage>(
-                fs_, d.file_stripe_count, d.write_request));
+                fs_, d.file_stripe_count, d.write_request,
+                cfg_.storage_retry, cfg_.seed));
         break;
       case StrategyKind::kNoIo:
         break;
@@ -262,7 +268,19 @@ class Experiment {
     res.stage_stats = client_pipeline_.stats();
     res.stage_stats.merge(writer_pipeline_.stats());
     res.fs_stats = fs_.stats();
+    res.failed_writes = failed_writes_;
+    res.storage_retries = storage_retries_;
+    res.first_error = first_error_;
     return res;
+  }
+
+  /// Folds a finished request's fault outcome into the run counters.
+  void note_outcome(const iopath::WriteRequest& req) {
+    storage_retries_ += static_cast<std::uint64_t>(req.retries);
+    if (!req.status.is_ok()) {
+      ++failed_writes_;
+      if (first_error_.is_ok()) first_error_ = req.status;
+    }
   }
 
   bool is_write_iteration(int it) const {
@@ -302,6 +320,7 @@ class Experiment {
       const SimTime phase_start = eng_.now();
       iopath::WriteRequest req = client_request(rank, phase_index, node);
       co_await client_pipeline_.process(req);
+      note_outcome(req);
       if (is_damaris_) {
         // The handoff is staged; notify this rank's writer and continue.
         channels_[writer_of_rank(rank)]->send(
@@ -334,6 +353,7 @@ class Experiment {
       req.phase = phase;
       req.raw_bytes = total;
       co_await writer_pipeline_.process(req);
+      note_outcome(req);
       // Busy time excludes the Schedule stage (waiting for a slot or a
       // token is idle time, not work).
       const SimTime wdur = req.seconds(StageKind::kStorage);
@@ -372,6 +392,9 @@ class Experiment {
   std::vector<SimTime> rank_finish_;
   double dedicated_busy_total_ = 0.0;
   Bytes stored_bytes_total_ = 0;
+  std::uint64_t failed_writes_ = 0;
+  std::uint64_t storage_retries_ = 0;
+  Status first_error_ = Status::ok();
 };
 
 }  // namespace

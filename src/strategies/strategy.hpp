@@ -26,6 +26,7 @@
 #include "cm1/workload.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "fault/retry.hpp"
 #include "fs/sim_fs.hpp"
 #include "iopath/compression_model.hpp"
 #include "iopath/metrics.hpp"
@@ -145,6 +146,15 @@ struct RunConfig {
   /// (pinned by tests/trace_test.cpp).
   trace::Tracer* tracer = nullptr;
 
+  /// Optional fault injector (not owned; null = fault-free, the exact
+  /// historical timeline). When set, it is wired into the storage
+  /// network, every node NIC and the simulated file system for the
+  /// duration of the run.
+  const fault::FaultInjector* injector = nullptr;
+  /// Retry policy for Storage-stage writes (default: disabled — a
+  /// failed write is recorded in the results and not retried).
+  fault::RetryPolicy storage_retry;
+
   /// The Transform model of the file-per-process client pipeline.
   iopath::CompressionModel fpp_compression_model() const {
     return fpp_compression
@@ -194,6 +204,13 @@ struct RunResult {
   iopath::PipelineStats stage_stats;
 
   fs::FsStats fs_stats;
+
+  /// Fault-injection outcomes: write requests whose Storage stage ended
+  /// in an error after all retries, retries consumed, and the first
+  /// error observed (OK when none).
+  std::uint64_t failed_writes = 0;
+  std::uint64_t storage_retries = 0;
+  Status first_error = Status::ok();
 };
 
 /// Runs one simulated experiment.

@@ -27,9 +27,10 @@ enum class Category : std::uint32_t {
   kShm = 1u << 1,       // shared-memory event queue + allocators
   kPipeline = 1u << 2,  // iopath write-pipeline stage boundaries
   kPersist = 1u << 3,   // real persistency layer (wall clock)
+  kFault = 1u << 4,     // fault injection, retries, degrade transitions
 };
 
-inline constexpr std::uint32_t kAllCategories = 0xFu;
+inline constexpr std::uint32_t kAllCategories = 0x1Fu;
 
 inline constexpr std::uint32_t category_bit(Category c) {
   return static_cast<std::uint32_t>(c);

@@ -20,6 +20,7 @@ const char* category_name(Category c) {
     case Category::kShm: return "shm";
     case Category::kPipeline: return "pipeline";
     case Category::kPersist: return "persist";
+    case Category::kFault: return "fault";
   }
   return "?";
 }

@@ -198,5 +198,124 @@ TEST(Config, RejectsEventWithoutAction) {
       Config::from_string(R"(<damaris><event name="e"/></damaris>)").is_ok());
 }
 
+TEST(Config, ParsesFaultPlan) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <fault seed="42">
+        <inject site="storage.write" rate="0.25"/>
+        <inject site="shm.exhaust" at="5" for="2"/>
+        <inject site="server.slow" at="1" for="10" factor="4"/>
+        <inject site="core.crash" at="3" for="1" stall="0.01"/>
+      </fault>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const fault::FaultPlan& plan = r.value().fault_plan();
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.faults.size(), 4u);
+  EXPECT_EQ(plan.faults[0].site, fault::Site::kStorageWrite);
+  EXPECT_DOUBLE_EQ(plan.faults[0].rate, 0.25);
+  EXPECT_EQ(plan.faults[1].site, fault::Site::kShmExhaust);
+  EXPECT_DOUBLE_EQ(plan.faults[1].window_start, 5.0);
+  EXPECT_DOUBLE_EQ(plan.faults[1].window_length, 2.0);
+  EXPECT_DOUBLE_EQ(plan.faults[2].factor, 4.0);
+  EXPECT_DOUBLE_EQ(plan.faults[3].stall_seconds, 0.01);
+  EXPECT_TRUE(plan.validate().is_ok());
+}
+
+TEST(Config, FaultPlanDefaultsEmpty) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().fault_plan().empty());
+  // Resilience defaults reproduce the historical behaviour.
+  const fault::ResilienceConfig& res = r.value().resilience();
+  EXPECT_FALSE(res.retry.enabled());
+  EXPECT_FALSE(res.degrade.allow_sync);
+  EXPECT_FALSE(res.degrade.allow_drop);
+  EXPECT_EQ(res.degrade.block_timeout_ms, -1);
+}
+
+TEST(Config, RejectsMalformedFaultPlans) {
+  // Unknown site.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject site="disk.melt" rate="0.5"/></fault></damaris>)")
+                   .is_ok());
+  // Missing site.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject rate="0.5"/></fault></damaris>)")
+                   .is_ok());
+  // Rate out of range.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject site="storage.write" rate="1.5"/></fault></damaris>)")
+                   .is_ok());
+  // Window without a length.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject site="shm.exhaust" at="5"/></fault></damaris>)")
+                   .is_ok());
+  // Neither rate nor window.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject site="storage.write"/></fault></damaris>)")
+                   .is_ok());
+  // Degradation factor below 1.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault>
+      <inject site="server.slow" at="0" for="5" factor="0.5"/>
+    </fault></damaris>)")
+                   .is_ok());
+  // Unparseable seed / numeric junk.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault seed="banana">
+      <inject site="storage.write" rate="0.5"/>
+    </fault></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><fault><inject site="storage.write" rate="0.5x"/></fault></damaris>)")
+                   .is_ok());
+}
+
+TEST(Config, ParsesResilience) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <resilience>
+        <retry attempts="6" base_delay="0.001" max_delay="0.05" deadline="2"/>
+        <degrade block_timeout_ms="50" sync="true" drop="true"
+                 trip="1" clear="4"/>
+      </resilience>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const fault::ResilienceConfig& res = r.value().resilience();
+  EXPECT_EQ(res.retry.max_attempts, 6);
+  EXPECT_DOUBLE_EQ(res.retry.base_delay, 0.001);
+  EXPECT_DOUBLE_EQ(res.retry.max_delay, 0.05);
+  EXPECT_DOUBLE_EQ(res.retry.deadline, 2.0);
+  EXPECT_EQ(res.degrade.block_timeout_ms, 50);
+  EXPECT_TRUE(res.degrade.allow_sync);
+  EXPECT_TRUE(res.degrade.allow_drop);
+  EXPECT_EQ(res.degrade.trip_threshold, 1);
+  EXPECT_EQ(res.degrade.clear_threshold, 4);
+}
+
+TEST(Config, RejectsMalformedResilience) {
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience><retry attempts="0"/></resilience></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience><retry base_delay="0"/></resilience></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience>
+      <retry base_delay="0.01" max_delay="0.001"/>
+    </resilience></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience><degrade sync="maybe"/></resilience></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience><degrade trip="0"/></resilience></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><resilience><degrade block_timeout_ms="-2"/></resilience></damaris>)")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace dmr::config

@@ -223,6 +223,138 @@ TEST(SimFs, ServerBusyAccounted) {
   EXPECT_GT(busy, 0.0);
 }
 
+TEST(SimFs, CapacityModelRejectsOverflow) {
+  Fixture f;
+  f.fs.set_capacity(10 * MiB);
+  std::vector<Status> statuses;
+  f.eng.spawn([](des::Engine&, SimFs& fs,
+                 std::vector<Status>& out) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    out.push_back(co_await fs.try_write(0, h, 0, 8 * MiB));
+    out.push_back(co_await fs.try_write(0, h, 8 * MiB, 8 * MiB));  // > cap
+    out.push_back(co_await fs.try_write(0, h, 8 * MiB, 2 * MiB));  // fits
+  }(f.eng, f.fs, statuses));
+  f.eng.run();
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].is_ok());
+  EXPECT_EQ(statuses[1].code(), ErrorCode::kNoSpace);
+  EXPECT_TRUE(statuses[2].is_ok());
+  EXPECT_EQ(f.fs.stats().enospc_errors, 1u);
+  // The rejected write never reached the servers or the byte counters.
+  EXPECT_EQ(f.fs.stats().bytes_written, 10 * MiB);
+}
+
+TEST(SimFs, CapacityRejectionCostsNoSimulatedTime) {
+  Fixture f;
+  f.fs.set_capacity(1 * MiB);
+  double at_reject = -1;
+  f.eng.spawn([](des::Engine& e, SimFs& fs, double& out) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    const double t0 = e.now();
+    Status s = co_await fs.try_write(0, h, 0, 8 * MiB);
+    EXPECT_EQ(s.code(), ErrorCode::kNoSpace);
+    out = e.now() - t0;
+  }(f.eng, f.fs, at_reject));
+  f.eng.run();
+  EXPECT_EQ(at_reject, 0.0);  // ENOSPC is known before any data moves
+}
+
+TEST(SimFs, ZeroCapacityMeansUnbounded) {
+  Fixture f;
+  ASSERT_EQ(f.fs.capacity(), 0u);
+  Status st = internal_error("unset");
+  f.eng.spawn([](des::Engine&, SimFs& fs, Status& out) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    out = co_await fs.try_write(0, h, 0, 64 * MiB);
+  }(f.eng, f.fs, st));
+  f.eng.run();
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(f.fs.stats().enospc_errors, 0u);
+}
+
+TEST(SimFs, InjectedEnospcFailsUpFront) {
+  Fixture f;
+  fault::FaultPlan plan;
+  fault::FaultSpec spec;
+  spec.site = fault::Site::kStorageSpace;
+  spec.rate = 1.0;
+  plan.faults.push_back(spec);
+  const fault::FaultInjector injector(plan);
+  f.fs.set_fault_injector(&injector);
+  Status st = Status::ok();
+  f.eng.spawn([](des::Engine&, SimFs& fs, Status& out) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    out = co_await fs.try_write(0, h, 0, 4 * MiB);
+  }(f.eng, f.fs, st));
+  f.eng.run();
+  EXPECT_EQ(st.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(f.fs.stats().enospc_errors, 1u);
+  EXPECT_EQ(f.fs.stats().bytes_written, 0u);
+}
+
+TEST(SimFs, InjectedEioFailsWrite) {
+  Fixture f;
+  fault::FaultPlan plan;
+  fault::FaultSpec spec;
+  spec.site = fault::Site::kStorageWrite;
+  spec.rate = 1.0;
+  plan.faults.push_back(spec);
+  const fault::FaultInjector injector(plan);
+  f.fs.set_fault_injector(&injector);
+  Status st = Status::ok();
+  f.eng.spawn([](des::Engine&, SimFs& fs, Status& out) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    out = co_await fs.try_write(0, h, 0, 4 * MiB);
+  }(f.eng, f.fs, st));
+  f.eng.run();
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+  EXPECT_GT(f.fs.stats().injected_errors, 0u);
+}
+
+TEST(SimFs, InjectedStallDelaysButSucceeds) {
+  auto timed_write = [](const fault::FaultInjector* injector) {
+    Fixture f;
+    if (injector) f.fs.set_fault_injector(injector);
+    double done = -1;
+    bool ok = false;
+    f.eng.spawn([](des::Engine& e, SimFs& fs, double& out,
+                   bool& ok_out) -> des::Process {
+      FileHandle h = co_await fs.create(0);
+      ok_out = (co_await fs.try_write(0, h, 0, 4 * MiB)).is_ok();
+      out = e.now();
+    }(f.eng, f.fs, done, ok));
+    f.eng.run();
+    EXPECT_TRUE(ok);
+    return done;
+  };
+  fault::FaultPlan plan;
+  fault::FaultSpec spec;
+  spec.site = fault::Site::kStorageStall;
+  spec.rate = 1.0;
+  spec.stall_seconds = 2.0;
+  plan.faults.push_back(spec);
+  const fault::FaultInjector injector(plan);
+  EXPECT_GT(timed_write(&injector), timed_write(nullptr) + 1.9);
+}
+
+TEST(SimFs, WriteSwallowsInjectedErrors) {
+  // The legacy write() path must stay fire-and-forget even under faults.
+  Fixture f;
+  fault::FaultPlan plan;
+  fault::FaultSpec spec;
+  spec.site = fault::Site::kStorageWrite;
+  spec.rate = 1.0;
+  plan.faults.push_back(spec);
+  const fault::FaultInjector injector(plan);
+  f.fs.set_fault_injector(&injector);
+  f.eng.spawn([](des::Engine&, SimFs& fs) -> des::Process {
+    FileHandle h = co_await fs.create(0);
+    co_await fs.write(0, h, 0, 4 * MiB);
+  }(f.eng, f.fs));
+  f.eng.run();  // completes without surfacing the error
+  EXPECT_GT(f.fs.stats().injected_errors, 0u);
+}
+
 TEST(SimFs, DeterministicAcrossRuns) {
   auto run = [] {
     cluster::PlatformSpec p = cluster::kraken();  // noise enabled
