@@ -6,6 +6,8 @@
 #   scripts/check.sh --fast     # lint + ASan only (quick local loop)
 #   scripts/check.sh --model    # ... plus the shm-protocol model checker
 #   scripts/check.sh --chaos    # ... plus the fixed-seed fault matrix
+#   scripts/check.sh --static   # ... plus the static gates: dmr_lint +
+#                               #     -Wthread-safety build (Clang only)
 #
 # Each sanitizer gets its own build tree (build-asan, build-ubsan,
 # build-tsan) so trees stay incremental across runs; the model-checking
@@ -21,22 +23,60 @@ RUN_TSAN=0
 RUN_UBSAN=1
 RUN_MODEL=0
 RUN_CHAOS=0
+RUN_STATIC=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --fast) RUN_UBSAN=0 ;;
     --model) RUN_MODEL=1 ;;
     --chaos) RUN_CHAOS=1 ;;
+    --static) RUN_STATIC=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
 
 step() { printf '\n==== %s ====\n' "$*"; }
+skipped() { printf 'SKIPPED (%s)\n' "$*"; }
+
+# Minimum toolchain versions for the optional clang-driven stages,
+# pinned in one place. Clang 11 shipped the mature -Wthread-safety
+# attribute set the annotations use; clang-tidy 15 is the oldest the
+# .clang-tidy config is tested against.
+MIN_CLANG_MAJOR=11
+MIN_CLANG_TIDY_MAJOR=15
+
+# Echoes the major version of "$1 --version" output, or nothing.
+tool_major_version() {
+  "$1" --version 2>/dev/null |
+    sed -n 's/.*version \([0-9][0-9]*\)\..*/\1/p' | head -1
+}
+
+# find_tool <min-major> <name> [<name>...]: echoes the first tool on
+# PATH whose major version satisfies the minimum.
+find_tool() {
+  local min="$1"; shift
+  local tool ver
+  for tool in "$@"; do
+    if command -v "$tool" >/dev/null 2>&1; then
+      ver="$(tool_major_version "$tool")"
+      if [ -n "$ver" ] && [ "$ver" -ge "$min" ]; then
+        echo "$tool"
+        return 0
+      fi
+    fi
+  done
+  return 1
+}
 
 # ---------------------------------------------------------------- lint
 step "lint (clang-tidy)"
 cmake -B build -S . >/dev/null
-cmake --build build --target lint
+if find_tool "$MIN_CLANG_TIDY_MAJOR" clang-tidy clang-tidy-18 clang-tidy-17 \
+     clang-tidy-16 clang-tidy-15 >/dev/null; then
+  cmake --build build --target lint
+else
+  skipped "no clang-tidy >= ${MIN_CLANG_TIDY_MAJOR} on PATH"
+fi
 
 # ----------------------------------------------------- sanitizer matrix
 run_sanitized_ctest() {
@@ -89,6 +129,33 @@ if [ "$RUN_CHAOS" = 1 ]; then
   cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-mc -j "$JOBS" --target bench_fault
   ./build-mc/bench/bench_fault build-mc/BENCH_fault.json --check
+fi
+
+# ------------------------------------------------------- static gates
+# (1) dmr_lint: the five project rules (DESIGN.md §13) over the full
+#     tree, with machine-readable findings in results/static_findings.json.
+#     Compiler-agnostic — always runs.
+# (2) -Wthread-safety: rebuild the tree with capability analysis as
+#     errors (build-tsafe, Clang only) and run the tests/static/
+#     negative-compilation suite proving the annotations still reject
+#     unguarded access, lock-order inversion and missing-release.
+if [ "$RUN_STATIC" = 1 ]; then
+  step "static: dmr_lint (project rules)"
+  cmake --build build -j "$JOBS" --target dmr_lint
+  ./build/tools/dmr_lint/dmr_lint --root . \
+    --compdb build/compile_commands.json \
+    --json results/static_findings.json
+
+  step "static: -Wthread-safety (clang, build-tsafe)"
+  if CLANGXX="$(find_tool "$MIN_CLANG_MAJOR" clang++ clang++-18 clang++-17 \
+       clang++-16 clang++-15 clang++-14 clang++-13 clang++-12 clang++-11)"; then
+    cmake -B build-tsafe -S . -DDMR_THREAD_SAFETY=ON \
+      -DCMAKE_CXX_COMPILER="$CLANGXX" >/dev/null
+    cmake --build build-tsafe -j "$JOBS"
+    ctest --test-dir build-tsafe -R '^static_' --output-on-failure -j "$JOBS"
+  else
+    skipped "no clang++ >= ${MIN_CLANG_MAJOR} on PATH; the annotations are no-ops on this toolchain"
+  fi
 fi
 
 step "all checks passed"

@@ -15,14 +15,14 @@ std::string_view write_outcome_name(WriteOutcome o) {
 }
 
 void FaultChecker::watch(shm::SharedBuffer& buffer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffers_.push_back(&buffer);
 }
 
 void FaultChecker::note_write(int client, std::int64_t it,
                               WriteOutcome outcome) {
   (void)client;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   switch (outcome) {
     case WriteOutcome::kPublished: ++ledger_[it].published; break;
     case WriteOutcome::kSyncWritten: ++sync_written_; break;
@@ -32,13 +32,13 @@ void FaultChecker::note_write(int client, std::int64_t it,
 }
 
 void FaultChecker::note_superseded(std::int64_t it) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++ledger_[it].superseded;
 }
 
 void FaultChecker::note_persist(int shard, std::int64_t it, int blocks,
                                 const Status& status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int seen = ++persist_seen_[{shard, it}];
   if (seen > 1) {
     std::ostringstream os;
@@ -55,12 +55,12 @@ void FaultChecker::note_persist(int shard, std::int64_t it, int blocks,
 }
 
 void FaultChecker::note_retry() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++retries_;
 }
 
 FaultChecker::Report FaultChecker::finalize() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Report rep;
   rep.violations = early_violations_;
   rep.sync_written = sync_written_;

@@ -36,11 +36,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "shm/shared_buffer.hpp"
 
 namespace dmr::check {
@@ -110,15 +110,17 @@ class FaultChecker {
     std::uint64_t failed_persist = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::int64_t, Ledger> ledger_;  // per iteration
-  std::map<std::pair<int, std::int64_t>, int> persist_seen_;
-  std::vector<std::string> early_violations_;  // double persists
-  std::uint64_t sync_written_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t failed_writes_ = 0;
-  std::uint64_t retries_ = 0;
-  std::vector<shm::SharedBuffer*> buffers_;
+  mutable Mutex mutex_;
+  std::map<std::int64_t, Ledger> ledger_ DMR_GUARDED_BY(mutex_);
+  std::map<std::pair<int, std::int64_t>, int> persist_seen_
+      DMR_GUARDED_BY(mutex_);
+  std::vector<std::string> early_violations_
+      DMR_GUARDED_BY(mutex_);  // double persists
+  std::uint64_t sync_written_ DMR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ DMR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_writes_ DMR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retries_ DMR_GUARDED_BY(mutex_) = 0;
+  std::vector<shm::SharedBuffer*> buffers_ DMR_GUARDED_BY(mutex_);
 };
 
 }  // namespace dmr::check

@@ -23,7 +23,7 @@ std::string PipelineViolation::to_string() const {
 }
 
 void StageOrderChecker::on_request_begin(const iopath::WriteRequest& req) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   last_stage_[{req.source, req.phase}] = -1;
 }
 
@@ -46,7 +46,7 @@ void StageOrderChecker::on_stage_end(iopath::StageKind kind,
                  " bytes");
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int& last = last_stage_[{req.source, req.phase}];
   const int idx = iopath::stage_index(kind);
   if (idx < last) {
@@ -60,7 +60,7 @@ void StageOrderChecker::on_stage_end(iopath::StageKind kind,
 }
 
 void StageOrderChecker::on_request_end(const iopath::WriteRequest& req) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   last_stage_.erase({req.source, req.phase});
   ++requests_;
 }
@@ -68,28 +68,28 @@ void StageOrderChecker::on_request_end(const iopath::WriteRequest& req) {
 void StageOrderChecker::record(PipelineViolationKind kind,
                                const iopath::WriteRequest& req,
                                iopath::StageKind stage, std::string detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   violations_.push_back(PipelineViolation{kind, req.source, req.phase, stage,
                                           std::move(detail)});
 }
 
 std::vector<PipelineViolation> StageOrderChecker::violations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return violations_;
 }
 
 std::size_t StageOrderChecker::violation_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return violations_.size();
 }
 
 std::uint64_t StageOrderChecker::requests_checked() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return requests_;
 }
 
 std::string StageOrderChecker::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (violations_.empty()) return "pipeline clean";
   std::string out;
   for (const PipelineViolation& v : violations_) {

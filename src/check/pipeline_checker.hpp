@@ -26,10 +26,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "iopath/stage.hpp"
 
 namespace dmr::check {
@@ -77,13 +77,14 @@ class StageOrderChecker : public iopath::PipelineObserver {
 
  private:
   void record(PipelineViolationKind kind, const iopath::WriteRequest& req,
-              iopath::StageKind stage, std::string detail);
+              iopath::StageKind stage, std::string detail)
+      DMR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Highest stage kind seen so far per in-flight (source, phase).
-  std::map<std::pair<int, int>, int> last_stage_;
-  std::vector<PipelineViolation> violations_;
-  std::uint64_t requests_ = 0;
+  std::map<std::pair<int, int>, int> last_stage_ DMR_GUARDED_BY(mutex_);
+  std::vector<PipelineViolation> violations_ DMR_GUARDED_BY(mutex_);
+  std::uint64_t requests_ DMR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dmr::check

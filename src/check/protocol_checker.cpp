@@ -49,13 +49,13 @@ ProtocolChecker::~ProtocolChecker() {
 
 void ProtocolChecker::observe(shm::SharedBuffer& buf) {
   buf.set_observer(this);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffers_.push_back(&buf);
 }
 
 void ProtocolChecker::observe(shm::EventQueue& q) {
   q.set_observer(this);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queues_.push_back(&q);
 }
 
@@ -86,7 +86,7 @@ ProtocolChecker::find_shadow(const shm::Block& block) {
 }
 
 void ProtocolChecker::on_allocate(const shm::Block& block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Overlap scan against the (offset-ordered) live map: the previous
   // block must end at or before our offset, the next must start at or
   // after our end.
@@ -110,7 +110,7 @@ void ProtocolChecker::on_allocate(const shm::Block& block) {
 }
 
 void ProtocolChecker::on_write(const shm::Block& block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = find_shadow(block);
   if (it == live_.end()) {
     record(ViolationKind::kUnknownBlock, block, BlockState::kAllocated, -1,
@@ -140,14 +140,14 @@ void ProtocolChecker::on_write(const shm::Block& block) {
 void ProtocolChecker::on_push(const shm::Message& msg, bool accepted) {
   if (msg.type != shm::MessageType::kWriteNotification) {
     if (!accepted) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       record(ViolationKind::kPushAfterClose, shm::Block{0, 0, msg.client_id},
              BlockState::kNotLive, msg.iteration,
              "event dropped: queue already closed");
     }
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!accepted) {
     record(ViolationKind::kPushAfterClose, msg.block, BlockState::kPublished,
            msg.iteration,
@@ -185,7 +185,7 @@ void ProtocolChecker::on_push(const shm::Message& msg, bool accepted) {
 
 void ProtocolChecker::on_pop(const shm::Message& msg) {
   if (msg.type != shm::MessageType::kWriteNotification) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = find_shadow(msg.block);
   if (it == live_.end()) {
     record(ViolationKind::kUnknownBlock, msg.block, BlockState::kNotLive,
@@ -214,7 +214,7 @@ void ProtocolChecker::on_pop(const shm::Message& msg) {
 }
 
 void ProtocolChecker::on_deallocate(const shm::Block& block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = find_shadow(block);
   if (it == live_.end()) {
     record(ViolationKind::kDoubleRelease, block, BlockState::kNotLive, -1,
@@ -234,7 +234,7 @@ void ProtocolChecker::on_deallocate(const shm::Block& block) {
 }
 
 std::vector<Violation> ProtocolChecker::finalize() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!leaks_reported_) {
     leaks_reported_ = true;
     for (const auto& [offset, s] : live_) {
@@ -247,22 +247,22 @@ std::vector<Violation> ProtocolChecker::finalize() {
 }
 
 std::vector<Violation> ProtocolChecker::violations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return violations_;
 }
 
 std::size_t ProtocolChecker::violation_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return violations_.size();
 }
 
 std::size_t ProtocolChecker::live_blocks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return live_.size();
 }
 
 std::string ProtocolChecker::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (violations_.empty()) return "protocol clean: no violations\n";
   std::ostringstream os;
   os << violations_.size() << " protocol violation(s):\n";

@@ -32,10 +32,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "shm/event_queue.hpp"
 #include "shm/observer.hpp"
 #include "shm/shared_buffer.hpp"
@@ -126,17 +126,18 @@ class ProtocolChecker : public shm::ShmObserver {
   };
 
   void record(ViolationKind kind, const shm::Block& block, BlockState state,
-              std::int64_t iteration, std::string detail);
+              std::int64_t iteration, std::string detail) DMR_REQUIRES(mutex_);
   /// Finds the shadow entry covering `block`, or live_.end().
-  std::map<Bytes, Shadow>::iterator find_shadow(const shm::Block& block);
+  std::map<Bytes, Shadow>::iterator find_shadow(const shm::Block& block)
+      DMR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<Bytes, Shadow> live_;  // keyed by block offset
-  std::vector<Violation> violations_;
-  bool leaks_reported_ = false;
+  mutable Mutex mutex_;
+  std::map<Bytes, Shadow> live_ DMR_GUARDED_BY(mutex_);  // keyed by offset
+  std::vector<Violation> violations_ DMR_GUARDED_BY(mutex_);
+  bool leaks_reported_ DMR_GUARDED_BY(mutex_) = false;
 
-  std::vector<shm::SharedBuffer*> buffers_;
-  std::vector<shm::EventQueue*> queues_;
+  std::vector<shm::SharedBuffer*> buffers_ DMR_GUARDED_BY(mutex_);
+  std::vector<shm::EventQueue*> queues_ DMR_GUARDED_BY(mutex_);
 };
 
 }  // namespace dmr::check

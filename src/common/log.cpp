@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace dmr {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -32,7 +33,7 @@ LogLevel log_level() { return g_level.load(); }
 void log_emit(LogLevel level, std::string_view component,
               std::string_view message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_tag(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

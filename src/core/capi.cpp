@@ -1,18 +1,18 @@
 #include "core/capi.hpp"
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "core/damaris.hpp"
 
 namespace dmr::core::capi {
 
 namespace {
 
-std::mutex g_mutex;
-std::unique_ptr<DamarisNode> g_node;
+Mutex g_mutex;
+std::unique_ptr<DamarisNode> g_node DMR_GUARDED_BY(g_mutex);
 thread_local int t_client_id = -1;
 thread_local std::string t_last_error;
 
@@ -30,7 +30,7 @@ int check(const Status& s) {
 }
 
 DamarisNode* node_or_null() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   return g_node.get();
 }
 
@@ -42,7 +42,7 @@ int df_setup(const char* configuration_path, int num_clients,
   if (!cfg.is_ok()) return fail(cfg.status().to_string());
   NodeOptions opts;
   if (output_dir) opts.output_dir = output_dir;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (g_node) return fail("df_setup called twice", -2);
   g_node = std::make_unique<DamarisNode>(std::move(cfg.value()), num_clients,
                                          opts);
@@ -50,7 +50,7 @@ int df_setup(const char* configuration_path, int num_clients,
 }
 
 int df_teardown() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (!g_node) return fail("no node", -2);
   Status s = g_node->stop();
   g_node.reset();

@@ -152,14 +152,14 @@ Status DamarisNode::stop() {
     for (const auto& v : violations) {
       DMR_LOG(kError, "damaris") << "shm protocol: " << v.to_string();
     }
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     server_stats_.protocol_violations = violations.size();
   }
   return Status::ok();
 }
 
 ServerStats DamarisNode::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ServerStats s = server_stats_;
   for (const auto& shard : shards_) {
     // PersistencyStats are only mutated by the shard's (now idle or
@@ -187,23 +187,23 @@ ServerStats DamarisNode::stats() const {
 }
 
 ClientStats DamarisNode::client_stats(int id) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return client_stats_.at(id);
 }
 
 std::map<std::string, double> DamarisNode::analytics() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return analytics_;
 }
 
 void DamarisNode::publish_analytic(const std::string& key, double value) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   analytics_[key] = value;
 }
 
 std::optional<std::string> DamarisNode::parameter(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(params_mutex_);
+  MutexLock lock(params_mutex_);
   auto it = parameters_.find(name);
   if (it == parameters_.end()) return std::nullopt;
   return it->second;
@@ -231,7 +231,7 @@ std::optional<double> DamarisNode::parameter_double(
 
 Status DamarisNode::set_parameter(const std::string& name,
                                   const std::string& value) {
-  std::lock_guard<std::mutex> lock(params_mutex_);
+  MutexLock lock(params_mutex_);
   auto it = parameters_.find(name);
   if (it == parameters_.end()) {
     return not_found("parameter '" + name + "' not declared");
@@ -265,7 +265,7 @@ void DamarisNode::server_main(Shard& shard) {
     const auto t0 = Clock::now();
     handle_message(shard, *msg);
     const double dt = seconds_since(t0);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     server_stats_.busy_seconds += dt;
     ++server_stats_.messages_handled;
     server_stats_.elapsed_seconds = seconds_since(start_time_);
@@ -275,7 +275,7 @@ void DamarisNode::server_main(Shard& shard) {
   for (std::int64_t it : shard.metadata.pending_iterations()) {
     complete_iteration(shard, it);
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   server_stats_.elapsed_seconds = seconds_since(start_time_);
 }
 
@@ -354,7 +354,7 @@ void DamarisNode::run_event(Shard& shard, const config::EventDecl& decl,
   EventContext ctx{*this,     shard.metadata, *buffer_, decl.name,
                    iteration, source,         shard.id};
   (*fn)(ctx);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++server_stats_.events_handled;
 }
 
@@ -395,7 +395,7 @@ void DamarisNode::complete_iteration(Shard& shard, std::int64_t iteration) {
 
   for (const auto& b : blocks) buffer_->deallocate(b.block);
 
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   if (!persist_status.is_ok()) {
     ++server_stats_.failed_iterations;
     if (server_stats_.first_error.is_ok()) {
@@ -433,7 +433,7 @@ void DamarisNode::maybe_crash(Shard& shard, std::int64_t iteration) {
                     tr->wall_now() - t0, 0,
                     static_cast<std::int32_t>(iteration));
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++server_stats_.crashes;
 }
 
@@ -495,7 +495,7 @@ Result<shm::Block> DamarisNode::blocking_allocate(Bytes size, int client) {
     auto r = buffer_->allocate(size, client);
     if (r.is_ok()) {
       if (stalled) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++client_stats_[client].alloc_stalls;
       }
       return r;
@@ -531,7 +531,7 @@ Status Client::write_sized(const std::string& variable,
   if (!st.is_ok()) return st;
 
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
-  std::lock_guard<std::mutex> lock(node_->stats_mutex_);
+  MutexLock lock(node_->stats_mutex_);
   ClientStats& cs = node_->client_stats_[id_];
   ++cs.writes;
   cs.bytes_written += data.size();
@@ -608,7 +608,7 @@ Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
       opts_.fault_checker->note_write(client, iteration,
                                       check::WriteOutcome::kDropped);
     }
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++client_stats_[client].dropped_writes;
     client_stats_[client].dropped_bytes += data.size();
     return Status::ok();
@@ -624,7 +624,7 @@ Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
         opts_.fault_checker->note_write(client, iteration,
                                         check::WriteOutcome::kSyncWritten);
       }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++client_stats_[client].sync_writes;
       return Status::ok();
     }
@@ -673,7 +673,7 @@ Status DamarisNode::sync_write(int client, std::uint32_t name_id,
   if (!st.is_ok()) return st;
 
   trace_fault(opts_.node_id, "sync-write", iteration);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++server_stats_.sync_files;
   server_stats_.sync_bytes += data.size();
   return Status::ok();
@@ -687,7 +687,7 @@ Result<std::span<std::byte>> Client::alloc(const std::string& variable,
   auto block = node_->blocking_allocate(layout->byte_size(), id_);
   if (!block.is_ok()) return block.status();
   {
-    std::lock_guard<std::mutex> lock(node_->pending_mutex_);
+    MutexLock lock(node_->pending_mutex_);
     node_->pending_allocs_[{id_, id, iteration}] = block.value();
   }
   return std::span<std::byte>(node_->buffer_->data(block.value()),
@@ -700,7 +700,7 @@ Status Client::commit(const std::string& variable, std::int64_t iteration) {
   if (id == ~0u) return not_found("variable '" + variable + "' unknown");
   shm::Block block;
   {
-    std::lock_guard<std::mutex> lock(node_->pending_mutex_);
+    MutexLock lock(node_->pending_mutex_);
     auto it = node_->pending_allocs_.find({id_, id, iteration});
     if (it == node_->pending_allocs_.end()) {
       return failed_precondition("no pending alloc for '" + variable + "'");
@@ -726,7 +726,7 @@ Status Client::commit(const std::string& variable, std::int64_t iteration) {
   }
 
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
-  std::lock_guard<std::mutex> lock(node_->stats_mutex_);
+  MutexLock lock(node_->stats_mutex_);
   ClientStats& cs = node_->client_stats_[id_];
   ++cs.writes;
   cs.bytes_written += block.size;

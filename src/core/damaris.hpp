@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,6 +39,7 @@
 #include "check/fault_checker.hpp"
 #include "check/protocol_checker.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "config/config.hpp"
 #include "core/metadata.hpp"
 #include "core/persistency.hpp"
@@ -341,21 +341,24 @@ class DamarisNode {
   std::vector<std::string> names_;            // id -> name
   std::map<std::string, std::uint32_t> ids_;  // name -> id
 
-  bool started_ = false;
+  /// Atomic: start() / stop() may be driven from a different thread
+  /// than the destructor's final stop() (found by the -Wthread-safety
+  /// rollout; previously a plain bool).
+  std::atomic<bool> started_{false};
 
   // pending dc_alloc blocks: (client, name_id, iteration) -> block
-  std::mutex pending_mutex_;
+  Mutex pending_mutex_;
   std::map<std::tuple<int, std::uint32_t, std::int64_t>, shm::Block>
-      pending_allocs_;
+      pending_allocs_ DMR_GUARDED_BY(pending_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  ServerStats server_stats_;
-  std::vector<ClientStats> client_stats_;
-  std::map<std::string, double> analytics_;
+  mutable Mutex stats_mutex_;
+  ServerStats server_stats_ DMR_GUARDED_BY(stats_mutex_);
+  std::vector<ClientStats> client_stats_ DMR_GUARDED_BY(stats_mutex_);
+  std::map<std::string, double> analytics_ DMR_GUARDED_BY(stats_mutex_);
   std::chrono::steady_clock::time_point start_time_;
 
-  mutable std::mutex params_mutex_;
-  std::map<std::string, std::string> parameters_;
+  mutable Mutex params_mutex_;
+  std::map<std::string, std::string> parameters_ DMR_GUARDED_BY(params_mutex_);
 
   // Last member: its destructor detaches from buffer_ and the shard
   // queues, which must still be alive.

@@ -69,7 +69,10 @@ Status PersistencyLayer::write_blocks(
       },
       [&](int attempt, double delay, const Status& last) {
         (void)delay;
-        ++stats_.retries;
+        {
+          MutexLock lock(stats_mutex_);
+          ++stats_.retries;
+        }
         if (trace::Tracer* tr = trace::current();
             tr != nullptr && tr->enabled(trace::Category::kFault)) {
           tr->record_instant({trace::EntityType::kNode,
@@ -81,7 +84,10 @@ Status PersistencyLayer::write_blocks(
         }
         (void)last;
       });
-  if (!s.is_ok()) ++stats_.failed_writes;
+  if (!s.is_ok()) {
+    MutexLock lock(stats_mutex_);
+    ++stats_.failed_writes;
+  }
   return s;
 }
 
@@ -110,28 +116,42 @@ Status PersistencyLayer::write_blocks_once(
     auto t0 = Clock::now();
     format::EncodedBuffer encoded = model.codec_pipeline().encode(raw);
     double dt = seconds_since(t0);
-    stage_stats_.of(iopath::StageKind::kTransform)
-        .add(dt, b.size, encoded.data.size());
+    {
+      MutexLock lock(stats_mutex_);
+      stage_stats_.of(iopath::StageKind::kTransform)
+          .add(dt, b.size, encoded.data.size());
+    }
     trace_persist(node_id_, "transform", dt, b.size, b.iteration);
 
     // Storage: append the encoded dataset to the container.
     t0 = Clock::now();
     Status s = writer.value().add_encoded(info, encoded, raw.size());
     dt = seconds_since(t0);
-    stage_stats_.of(iopath::StageKind::kStorage)
-        .add(dt, encoded.data.size(), encoded.data.size());
+    {
+      MutexLock lock(stats_mutex_);
+      stage_stats_.of(iopath::StageKind::kStorage)
+          .add(dt, encoded.data.size(), encoded.data.size());
+    }
     trace_persist(node_id_, "storage", dt, encoded.data.size(), b.iteration);
     if (!s.is_ok()) return s;
+    MutexLock lock(stats_mutex_);
     ++stats_.datasets_written;
   }
-  stats_.raw_bytes += writer.value().raw_bytes();
-  stats_.stored_bytes += writer.value().stored_bytes();
+  {
+    MutexLock lock(stats_mutex_);
+    stats_.raw_bytes += writer.value().raw_bytes();
+    stats_.stored_bytes += writer.value().stored_bytes();
+  }
   const auto t0 = Clock::now();
   Status s = writer.value().finalize();
   const double dt = seconds_since(t0);
-  stage_stats_.of(iopath::StageKind::kStorage).add(dt, 0, 0);
+  {
+    MutexLock lock(stats_mutex_);
+    stage_stats_.of(iopath::StageKind::kStorage).add(dt, 0, 0);
+  }
   trace_persist(node_id_, "finalize", dt, 0, iteration);
   if (!s.is_ok()) return s;
+  MutexLock lock(stats_mutex_);
   ++stats_.files_written;
   return Status::ok();
 }

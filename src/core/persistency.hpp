@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "config/config.hpp"
 #include "core/metadata.hpp"
 #include "fault/fault.hpp"
@@ -69,11 +70,22 @@ class PersistencyLayer {
   /// Path the file for `iteration` is (or would be) written to.
   std::string file_path(std::int64_t iteration) const;
 
-  const PersistencyStats& stats() const { return stats_; }
+  /// Returns a snapshot: the shard thread updates the counters while
+  /// DamarisNode::stats() may read them from any thread, so handing out
+  /// a reference to the live struct would race (found by the
+  /// -Wthread-safety rollout).
+  PersistencyStats stats() const {
+    MutexLock lock(stats_mutex_);
+    return stats_;
+  }
 
   /// Wall-clock per-stage counters of this layer: Transform is codec
-  /// encode time, Storage is container write + finalize time.
-  const iopath::PipelineStats& stage_stats() const { return stage_stats_; }
+  /// encode time, Storage is container write + finalize time. Snapshot,
+  /// like stats().
+  iopath::PipelineStats stage_stats() const {
+    MutexLock lock(stats_mutex_);
+    return stage_stats_;
+  }
 
  private:
   Status write_blocks_once(std::int64_t iteration,
@@ -84,8 +96,9 @@ class PersistencyLayer {
   std::string output_dir_;
   std::string prefix_;
   int node_id_;
-  PersistencyStats stats_;
-  iopath::PipelineStats stage_stats_;
+  mutable Mutex stats_mutex_;
+  PersistencyStats stats_ DMR_GUARDED_BY(stats_mutex_);
+  iopath::PipelineStats stage_stats_ DMR_GUARDED_BY(stats_mutex_);
   fault::RetryPolicy retry_;
   const fault::FaultInjector* injector_ = nullptr;
 };

@@ -49,7 +49,7 @@ void DegradeController::set_mode_locked(DegradeMode to) {
 }
 
 DegradeMode DegradeController::on_pressure() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.pressure_events;
   clear_streak_ = 0;
   const int streak =
@@ -78,7 +78,7 @@ void DegradeController::on_clear() {
       pressure_streak_.load(std::memory_order_relaxed) == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   pressure_streak_.store(0, std::memory_order_relaxed);
   if (mode() == DegradeMode::kNormal) return;
   if (++clear_streak_ >= policy_.clear_threshold) {
@@ -90,7 +90,7 @@ void DegradeController::on_clear() {
 
 void DegradeController::on_server_down() {
   servers_down_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (trace::Tracer* tr = trace::current();
       tr != nullptr && tr->enabled(trace::Category::kFault)) {
     tr->record_instant(
@@ -101,7 +101,7 @@ void DegradeController::on_server_down() {
 
 void DegradeController::on_server_up() {
   servers_down_.fetch_sub(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (trace::Tracer* tr = trace::current();
       tr != nullptr && tr->enabled(trace::Category::kFault)) {
     tr->record_instant(
@@ -111,7 +111,7 @@ void DegradeController::on_server_up() {
 }
 
 DegradeStats DegradeController::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -30,8 +30,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "fault/retry.hpp"
 
 namespace dmr::fault {
@@ -96,18 +96,20 @@ class DegradeController {
   DegradeStats stats() const;
 
  private:
-  void set_mode_locked(DegradeMode to);
+  void set_mode_locked(DegradeMode to) DMR_REQUIRES(mutex_);
 
   DegradePolicy policy_;
   int node_id_;
+  /// Lock-free mirrors of the FSM state for the mode()/server_down()
+  /// fast paths; written only under mutex_ (see on_pressure / on_clear).
   std::atomic<int> mode_{0};
   std::atomic<int> servers_down_{0};
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Atomic so on_clear()'s lock-free fast path may read it; mutated
   /// only under mutex_.
   std::atomic<int> pressure_streak_{0};
-  int clear_streak_ = 0;
-  DegradeStats stats_;
+  int clear_streak_ DMR_GUARDED_BY(mutex_) = 0;
+  DegradeStats stats_ DMR_GUARDED_BY(mutex_);
 };
 
 }  // namespace dmr::fault

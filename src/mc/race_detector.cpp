@@ -34,7 +34,7 @@ std::string RaceReport::to_string() const {
 }
 
 void HbRaceDetector::register_thread(int tid, std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   thread_names_[tid] = std::move(name);
   if (static_cast<std::size_t>(tid) >= thread_clocks_.size()) {
     thread_clocks_.resize(static_cast<std::size_t>(tid) + 1);
@@ -45,18 +45,18 @@ void HbRaceDetector::register_thread(int tid, std::string name) {
 }
 
 void HbRaceDetector::set_current_thread(int tid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   forced_tid_ = tid;
 }
 
 void HbRaceDetector::set_context(const char* op, int step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   context_op_ = op;
   context_step_ = step;
 }
 
 void HbRaceDetector::thread_create(int parent, int child) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (static_cast<std::size_t>(std::max(parent, child)) >=
       thread_clocks_.size()) {
     thread_clocks_.resize(static_cast<std::size_t>(std::max(parent, child)) +
@@ -68,7 +68,7 @@ void HbRaceDetector::thread_create(int parent, int child) {
 }
 
 void HbRaceDetector::thread_join(int parent, int child) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (static_cast<std::size_t>(std::max(parent, child)) >=
       thread_clocks_.size()) {
     thread_clocks_.resize(static_cast<std::size_t>(std::max(parent, child)) +
@@ -106,7 +106,7 @@ int HbRaceDetector::current_locked() {
 AccessSite HbRaceDetector::site_of(const Access& a) const { return a.site; }
 
 void HbRaceDetector::record_access(const shm::Block& block, bool write) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int tid = current_locked();
   if (static_cast<std::size_t>(tid) >= thread_clocks_.size()) {
     thread_clocks_.resize(static_cast<std::size_t>(tid) + 1);
@@ -150,13 +150,13 @@ void HbRaceDetector::on_read(const shm::Block& block) {
 }
 
 void HbRaceDetector::on_acquire(const shm::SyncPoint& sync) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int tid = current_locked();
   thread_clocks_[tid].join(sync_clocks_[sync_key(sync)]);
 }
 
 void HbRaceDetector::on_release(const shm::SyncPoint& sync) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int tid = current_locked();
   // Accumulating join (not overwrite): a mutex's clock remembers every
   // prior critical section, which is exactly the edge a later acquirer
@@ -166,17 +166,17 @@ void HbRaceDetector::on_release(const shm::SyncPoint& sync) {
 }
 
 std::vector<RaceReport> HbRaceDetector::races() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return races_;
 }
 
 std::size_t HbRaceDetector::race_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return races_.size();
 }
 
 std::string HbRaceDetector::report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (races_.empty()) return "no data races\n";
   std::ostringstream os;
   os << races_.size() << " data race(s):\n";

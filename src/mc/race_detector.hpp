@@ -29,12 +29,12 @@
 // checker, not a hot path.
 #pragma once
 
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "mc/vector_clock.hpp"
 #include "shm/observer.hpp"
@@ -109,20 +109,22 @@ class HbRaceDetector : public shm::ShmObserver {
     AccessSite site;   // for reporting
   };
 
-  int current_locked();
+  int current_locked() DMR_REQUIRES(mutex_);
   void record_access(const shm::Block& block, bool write);
-  AccessSite site_of(const Access& a) const;
+  AccessSite site_of(const Access& a) const DMR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<VectorClock> thread_clocks_;
-  std::unordered_map<int, std::string> thread_names_;
-  std::unordered_map<std::uint64_t, VectorClock> sync_clocks_;
-  std::unordered_map<std::thread::id, int> real_thread_ids_;
-  std::vector<Access> accesses_;
-  std::vector<RaceReport> races_;
-  int forced_tid_ = -1;
-  const char* context_op_ = "?";
-  int context_step_ = -1;
+  mutable Mutex mutex_;
+  std::vector<VectorClock> thread_clocks_ DMR_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::string> thread_names_ DMR_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, VectorClock> sync_clocks_
+      DMR_GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, int> real_thread_ids_
+      DMR_GUARDED_BY(mutex_);
+  std::vector<Access> accesses_ DMR_GUARDED_BY(mutex_);
+  std::vector<RaceReport> races_ DMR_GUARDED_BY(mutex_);
+  int forced_tid_ DMR_GUARDED_BY(mutex_) = -1;
+  const char* context_op_ DMR_GUARDED_BY(mutex_) = "?";
+  int context_step_ DMR_GUARDED_BY(mutex_) = -1;
 };
 
 }  // namespace dmr::mc

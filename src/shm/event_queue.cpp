@@ -30,7 +30,7 @@ trace::EntityId client_lane(const Message& m) {
 
 bool EventQueue::push(const Message& msg) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ShmObserver* o = observer();
     // The mutex is a synchronization object: entering the critical
     // section acquires every prior release on this queue, leaving it
@@ -60,8 +60,8 @@ bool EventQueue::push(const Message& msg) {
 }
 
 std::optional<Message> EventQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  MutexLock lock(mutex_);
+  while (queue_.empty() && !closed_) cv_.wait(mutex_);
   ShmObserver* o = observer();
   if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
   if (queue_.empty()) {
@@ -79,7 +79,7 @@ std::optional<Message> EventQueue::pop() {
 }
 
 std::optional<Message> EventQueue::try_pop() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ShmObserver* o = observer();
   if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
   if (queue_.empty()) {
@@ -98,7 +98,7 @@ std::optional<Message> EventQueue::try_pop() {
 
 void EventQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return;
     ShmObserver* o = observer();
     if (o) o->on_acquire({SyncPoint::Kind::kQueueMutex, this});
@@ -118,22 +118,22 @@ void EventQueue::close() {
 }
 
 bool EventQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t EventQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::uint64_t EventQueue::pushed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pushed_;
 }
 
 std::uint64_t EventQueue::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 

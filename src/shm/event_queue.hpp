@@ -14,13 +14,12 @@
 // block.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "shm/observer.hpp"
 #include "shm/shared_buffer.hpp"
 
@@ -94,12 +93,12 @@ class EventQueue {
 #endif
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool closed_ = false;
-  std::uint64_t pushed_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Message> queue_ DMR_GUARDED_BY(mutex_);
+  bool closed_ DMR_GUARDED_BY(mutex_) = false;
+  std::uint64_t pushed_ DMR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ DMR_GUARDED_BY(mutex_) = 0;
   std::atomic<ShmObserver*> observer_{nullptr};
 };
 

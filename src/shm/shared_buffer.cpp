@@ -118,7 +118,7 @@ void SharedBuffer::deallocate_once(const Block& block) {
 }
 
 Result<Block> SharedBuffer::allocate_first_fit(Bytes size, int client_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ShmObserver* o = observer();
   if (o) o->on_acquire({SyncPoint::Kind::kBufferMutex, this});
   auto release = [&] {
@@ -142,7 +142,7 @@ Result<Block> SharedBuffer::allocate_first_fit(Bytes size, int client_id) {
 }
 
 void SharedBuffer::deallocate_first_fit(const Block& block) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ShmObserver* o = observer();
   if (o) o->on_acquire({SyncPoint::Kind::kBufferMutex, this});
   if (o) o->on_release({SyncPoint::Kind::kBufferMutex, this});
@@ -210,7 +210,7 @@ Status SharedBuffer::check_integrity() const {
                           " (accounting underflow)");
   }
   if (policy_ == AllocPolicy::kMutexFirstFit) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Bytes total_free = 0;
     Bytes prev_end = 0;
     bool first = true;

@@ -20,10 +20,10 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
 #include "shm/observer.hpp"
@@ -152,8 +152,9 @@ class SharedBuffer {
   std::unique_ptr<std::atomic<std::uint64_t>[]> fault_seq_;
 
   // --- first-fit state (mutex-protected) ---
-  mutable std::mutex mutex_;  // mutable: check_integrity() is const
-  std::map<Bytes, Bytes> free_by_offset_;  // offset -> length
+  mutable Mutex mutex_;  // mutable: check_integrity() is const
+  /// offset -> length
+  std::map<Bytes, Bytes> free_by_offset_ DMR_GUARDED_BY(mutex_);
 
   // --- partitioned state (lock-free per client) ---
   struct alignas(64) Partition {

@@ -1,0 +1,157 @@
+// Golden-output tests for tools/dmr_lint: each fixture mini-tree under
+// tools/dmr_lint/testdata/ exercises one rule (clean pass, each
+// violation class, allowlist suppression), plus a self-check that the
+// real tree is clean. The tests spawn the actual binary — the contract
+// under test is the CLI (exit code + findings lines), exactly what
+// scripts/check.sh --static consumes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef DMR_LINT_BIN
+#error "DMR_LINT_BIN must be defined by the build"
+#endif
+#ifndef DMR_LINT_TESTDATA
+#error "DMR_LINT_TESTDATA must be defined by the build"
+#endif
+#ifndef DMR_REPO_ROOT
+#error "DMR_REPO_ROOT must be defined by the build"
+#endif
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string out_path =
+      ::testing::TempDir() + "/dmr_lint_out.txt";
+  const std::string cmd = std::string(DMR_LINT_BIN) + " " + args + " > " +
+                          out_path + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  LintRun r;
+  r.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  r.output = ss.str();
+  return r;
+}
+
+LintRun run_on_fixture(const std::string& fixture,
+                       const std::string& extra = "") {
+  const std::string root = std::string(DMR_LINT_TESTDATA) + "/" + fixture;
+  return run_lint("--root " + root + " " + extra);
+}
+
+TEST(DmrLint, CleanTreePasses) {
+  const LintRun r = run_on_fixture("clean");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 unsuppressed"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, BareStdMutexIsFlagged) {
+  const LintRun r = run_on_fixture("bare_mutex");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[mutex-annotation]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/q.hpp:4"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, MutexGuardingNothingIsFlagged) {
+  const LintRun r = run_on_fixture("idle_mutex");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("lonely_mutex_"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("guards nothing"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, ClockMixingIsFlaggedPerFunction) {
+  const LintRun r = run_on_fixture("clock_mix");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[clock-mixing]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'drift'"), std::string::npos) << r.output;
+  // The sim-only sibling in the same file must NOT be flagged.
+  EXPECT_EQ(r.output.find("pure_sim"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, DiscardedStatusIsFlagged) {
+  const LintRun r = run_on_fixture("discarded");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[discarded-status]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("'do_io'"), std::string::npos) << r.output;
+  // Exactly one finding: the handled call site is clean.
+  EXPECT_NE(r.output.find("1 finding(s), 1 unsuppressed"), std::string::npos)
+      << r.output;
+}
+
+TEST(DmrLint, UnregisteredTraceCategoryIsFlagged) {
+  const LintRun r = run_on_fixture("trace_cat");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Both the declaration gap and the use site are reported.
+  EXPECT_NE(r.output.find("kNew"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("src/trace/event.hpp"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/user.cpp"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("kDes"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, UndocumentedConfigKeyIsFlagged) {
+  const LintRun r = run_on_fixture("config_doc");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[config-doc]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("secret_knob"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("documented_key"), std::string::npos) << r.output;
+}
+
+TEST(DmrLint, AllowlistSuppressesJustifiedFinding) {
+  const std::string root = std::string(DMR_LINT_TESTDATA) + "/allowed";
+  const LintRun r =
+      run_lint("--root " + root + " --allowlist " + root + "/allowlist.txt");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("1 finding(s), 0 unsuppressed"), std::string::npos)
+      << r.output;
+}
+
+TEST(DmrLint, AllowlistEntryWithoutJustificationIsItselfAFinding) {
+  const std::string root = std::string(DMR_LINT_TESTDATA) + "/bad_allowlist";
+  const LintRun r =
+      run_lint("--root " + root + " --allowlist " + root + "/allowlist.txt");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[allowlist]"), std::string::npos) << r.output;
+  // The malformed entry suppresses nothing: the underlying finding stays.
+  EXPECT_NE(r.output.find("[mutex-annotation]"), std::string::npos)
+      << r.output;
+}
+
+TEST(DmrLint, JsonOutputIsWritten) {
+  const std::string json =
+      ::testing::TempDir() + "/dmr_lint_findings.json";
+  const LintRun r = run_on_fixture("bare_mutex", "--json " + json);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"rule\": \"mutex-annotation\""),
+            std::string::npos)
+      << ss.str();
+  EXPECT_NE(ss.str().find("\"unsuppressed\": 1"), std::string::npos)
+      << ss.str();
+}
+
+// The gate itself: the real tree must stay clean (with its audited
+// allowlist). A regression here means a new violation of one of the
+// five project rules landed.
+TEST(DmrLint, RealTreeIsClean) {
+  const LintRun r = run_lint(std::string("--root ") + DMR_REPO_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Positive control: idiomatic use of the annotated lock types MUST
+// compile warning-free under -Wthread-safety -Werror. If this fails,
+// the harness (not the tree) is broken.
+#include "common/thread_annotations.hpp"
+
+#include <deque>
+
+class Channel {
+ public:
+  void push(int v) {
+    dmr::MutexLock lock(mutex_);
+    items_.push_back(v);
+    cv_.notify_one();
+  }
+
+  int pop() {
+    dmr::MutexLock lock(mutex_);
+    while (items_.empty()) cv_.wait(mutex_);
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  int size_locked() const DMR_REQUIRES(mutex_) {
+    return static_cast<int>(items_.size());
+  }
+
+  int size() const {
+    dmr::MutexLock lock(mutex_);
+    return size_locked();
+  }
+
+ private:
+  mutable dmr::Mutex mutex_;
+  dmr::CondVar cv_;
+  std::deque<int> items_ DMR_GUARDED_BY(mutex_);
+};
+
+int main() {
+  Channel ch;
+  ch.push(1);
+  return ch.pop() == 1 && ch.size() == 0 ? 0 : 1;
+}

@@ -1,0 +1,649 @@
+// dmr_lint — project-specific static analyzer (ISSUE 6 tentpole).
+//
+// Enforces the five project rules no off-the-shelf checker knows,
+// driven by the file list in compile_commands.json (plus a recursive
+// header scan, since headers don't appear in the compilation database):
+//
+//   mutex-annotation  every mutex/condvar member uses the annotated
+//                     dmr::Mutex/MutexLock/CondVar wrappers (bare std::
+//                     primitives would silently fall out of Clang's
+//                     -Wthread-safety analysis), and every dmr::Mutex
+//                     member actually guards something (DMR_GUARDED_BY /
+//                     DMR_REQUIRES refer to it);
+//   clock-mixing      no function touches both wall-clock time
+//                     (std::chrono, wall_now, sleep_for) and DES
+//                     simulated time (SimTime, sim_now) — the PR 5
+//                     dual-clock RetryPolicy hazard;
+//   discarded-status  no `(void)`-cast of a call to a Status/Result-
+//                     returning function (class-level [[nodiscard]]
+//                     already rejects plain discards; this closes the
+//                     cast escape hatch);
+//   trace-category    every trace::Category enumerator is registered in
+//                     category_name(), and call sites only use
+//                     registered categories;
+//   config-doc        every config key parsed in src/config/ appears in
+//                     DESIGN.md.
+//
+// Findings are suppressed only by tools/dmr_lint/allowlist.txt entries
+// of the form `rule path[:symbol]  # justification`; an entry without a
+// justification is itself a finding. Exit 0 = clean, 1 = unsuppressed
+// findings, 2 = usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string rule;
+  std::string file;   // path relative to --root
+  int line = 0;
+  std::string symbol; // offending identifier, when known
+  std::string message;
+  bool suppressed = false;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path;    // suffix-matched against the finding's file
+  std::string symbol;  // optional; empty matches any
+  std::string justification;
+  int line = 0;
+  mutable bool used = false;
+};
+
+struct Options {
+  fs::path root = ".";
+  fs::path compdb;     // optional
+  fs::path allowlist;  // optional
+  fs::path design;     // defaults to root/DESIGN.md
+  fs::path json_out;   // optional
+  bool verbose = false;
+};
+
+/// Replaces comments and string/char-literal contents with spaces
+/// (newlines preserved) so rules never fire on prose or literals.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLine, kBlock, kStr, kChar } st = St::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') st = St::kLine;
+        else if (c == '/' && n == '*') st = St::kBlock;
+        else if (c == '"') st = St::kStr;
+        else if (c == '\'') st = St::kChar;
+        if (st == St::kLine || st == St::kBlock) out[i] = ' ';
+        break;
+      case St::kLine:
+        if (c == '\n') st = St::kCode;
+        else out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && n == '/') { out[i] = out[i + 1] = ' '; ++i; st = St::kCode; }
+        else if (c != '\n') out[i] = ' ';
+        break;
+      case St::kStr:
+      case St::kChar: {
+        const char quote = st == St::kStr ? '"' : '\'';
+        if (c == '\\') { if (c != '\n') out[i] = ' '; if (n != '\n') out[i + 1] = ' '; ++i; }
+        else if (c == quote) st = St::kCode;
+        else if (c != '\n') out[i] = ' ';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The raw text kept alongside its stripped twin: rules scan the
+/// stripped lines but findings may cite the raw ones.
+struct Source {
+  std::string rel;           // path relative to root, '/'-separated
+  std::vector<std::string> lines;  // stripped
+};
+
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path r = fs::relative(p, root, ec);
+  std::string s = (ec ? p : r).generic_string();
+  return s;
+}
+
+/// Files named by compile_commands.json (hand-rolled: the format is
+/// regular enough that pulling the "file" values needs no JSON parser).
+std::vector<fs::path> compdb_files(const fs::path& compdb) {
+  std::vector<fs::path> files;
+  auto text = read_file(compdb);
+  if (!text) return files;
+  static const std::regex kFile("\"file\"\\s*:\\s*\"([^\"]+)\"");
+  for (std::sregex_iterator it(text->begin(), text->end(), kFile), end;
+       it != end; ++it)
+    files.emplace_back((*it)[1].str());
+  return files;
+}
+
+/// One function in a source file, for the per-function rules.
+struct Function {
+  std::string name;
+  int line = 0;        // 1-based line of the opening brace
+  std::string header;  // signature segment before the opening brace
+  std::string body;    // stripped text between the braces
+};
+
+bool segment_is_function_header(const std::string& seg) {
+  if (seg.find('(') == std::string::npos) return false;
+  static const char* kContainers[] = {"namespace", "class ", "struct ",
+                                      "enum ", "union "};
+  for (const char* kw : kContainers)
+    if (seg.find(kw) != std::string::npos) return false;
+  if (seg.find('=') != std::string::npos &&
+      seg.find("operator") == std::string::npos)
+    return false;  // initializer braces, default args with braces, ...
+  return true;
+}
+
+std::string function_name_of(const std::string& seg) {
+  const std::size_t paren = seg.find('(');
+  if (paren == std::string::npos || paren == 0) return "?";
+  std::size_t end = paren;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(seg[end - 1])))
+    --end;
+  std::size_t begin = end;
+  while (begin > 0) {
+    const char c = seg[begin - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+        c == '~')
+      --begin;
+    else
+      break;
+  }
+  return begin == end ? "?" : seg.substr(begin, end - begin);
+}
+
+/// Splits stripped text into top-level function bodies. Heuristic brace
+/// tracker: a '{' whose preceding segment (since the last ; { }) looks
+/// like `name(...)` opens a function; nested braces (lambdas, scopes)
+/// stay inside it.
+std::vector<Function> extract_functions(const std::string& stripped) {
+  std::vector<Function> fns;
+  std::string seg;
+  int line = 1;
+  int depth = 0;            // brace depth outside any function
+  int fn_depth = -1;        // depth at which the current function opened
+  Function cur;
+  for (char c : stripped) {
+    if (c == '\n') ++line;
+    if (fn_depth >= 0) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == fn_depth) {
+          fns.push_back(cur);
+          cur = Function{};
+          fn_depth = -1;
+          continue;
+        }
+      }
+      cur.body += c;
+      continue;
+    }
+    if (c == '{') {
+      if (segment_is_function_header(seg)) {
+        cur.name = function_name_of(seg);
+        cur.line = line;
+        cur.header = seg;
+        fn_depth = depth;
+      }
+      ++depth;
+      seg.clear();
+    } else if (c == '}') {
+      --depth;
+      seg.clear();
+    } else if (c == ';') {
+      seg.clear();
+    } else {
+      seg += c;
+    }
+  }
+  return fns;
+}
+
+int line_of_offset(const std::string& text, std::size_t off) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                         static_cast<std::ptrdiff_t>(off), '\n'));
+}
+
+// --- rule 1: mutex-annotation -------------------------------------------
+
+void rule_mutex_annotation(const Source& src, std::vector<Finding>& out) {
+  if (src.rel == "src/common/thread_annotations.hpp") return;
+  static const char* kBare[] = {
+      "std::mutex",         "std::recursive_mutex", "std::timed_mutex",
+      "std::shared_mutex",  "std::condition_variable",
+      "std::condition_variable_any", "std::lock_guard", "std::unique_lock",
+      "std::scoped_lock"};
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    for (const char* tok : kBare) {
+      if (src.lines[i].find(tok) != std::string::npos) {
+        out.push_back({"mutex-annotation", src.rel, static_cast<int>(i + 1),
+                       tok,
+                       std::string("bare ") + tok +
+                           "; use the annotated dmr::Mutex/MutexLock/CondVar "
+                           "(common/thread_annotations.hpp) so -Wthread-safety "
+                           "can see the lock"});
+        break;
+      }
+    }
+  }
+  // Every dmr::Mutex member must protect something: some declaration in
+  // the same file names it in DMR_GUARDED_BY / DMR_PT_GUARDED_BY /
+  // DMR_REQUIRES.
+  static const std::regex kMember(
+      "\\b(?:dmr::)?Mutex\\s+([A-Za-z_][A-Za-z0-9_]*)\\s*;");
+  std::string all;
+  for (const auto& l : src.lines) { all += l; all += '\n'; }
+  for (std::sregex_iterator it(all.begin(), all.end(), kMember), end;
+       it != end; ++it) {
+    const std::string name = (*it)[1].str();
+    const bool used =
+        all.find("DMR_GUARDED_BY(" + name + ")") != std::string::npos ||
+        all.find("DMR_PT_GUARDED_BY(" + name + ")") != std::string::npos ||
+        all.find("DMR_REQUIRES(" + name + ")") != std::string::npos ||
+        all.find("DMR_REQUIRES(" + name + ",") != std::string::npos;
+    if (!used)
+      out.push_back({"mutex-annotation", src.rel,
+                     line_of_offset(all, static_cast<std::size_t>(it->position())),
+                     name,
+                     "Mutex member '" + name +
+                         "' guards nothing: no DMR_GUARDED_BY/DMR_REQUIRES in "
+                         "this file names it"});
+  }
+}
+
+// --- rule 2: clock-mixing -----------------------------------------------
+
+void rule_clock_mixing(const Source& src, const std::string& stripped,
+                       std::vector<Finding>& out) {
+  // sleep_until alone is NOT a wall marker: des::Engine::sleep_until
+  // takes simulated time. Wall sleeps in this tree always go through
+  // std::this_thread.
+  static const char* kWall[] = {"std::chrono", "steady_clock", "system_clock",
+                                "high_resolution_clock", "wall_now",
+                                "this_thread::sleep_for"};
+  static const char* kSim[] = {"SimTime", "sim_now"};
+  for (const Function& fn : extract_functions(stripped)) {
+    // Signature + body: a SimTime parameter fed into a wall-clock sleep
+    // is exactly the hazard, and SimTime often appears only as a
+    // parameter type.
+    const std::string text = fn.header + fn.body;
+    const char* wall = nullptr;
+    const char* sim = nullptr;
+    for (const char* t : kWall)
+      if (text.find(t) != std::string::npos) { wall = t; break; }
+    for (const char* t : kSim)
+      if (text.find(t) != std::string::npos) { sim = t; break; }
+    if (wall != nullptr && sim != nullptr)
+      out.push_back({"clock-mixing", src.rel, fn.line, fn.name,
+                     "function '" + fn.name + "' mixes wall-clock (" + wall +
+                         ") and simulated time (" + sim +
+                         ") — the dual-clock hazard; split the function or "
+                         "allowlist with a justification"});
+  }
+}
+
+// --- rule 3: discarded-status -------------------------------------------
+
+std::set<std::string> collect_status_functions(const std::vector<Source>& hdrs) {
+  std::set<std::string> names;
+  // Task<Status> covers the DES coroutines: a (void)co_await of one
+  // discards the status exactly like a plain call would.
+  static const std::regex kDecl(
+      "\\b(?:Status|Result<[^;{}]*>|(?:des::)?Task<Status>)\\s+"
+      "([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+  for (const Source& h : hdrs) {
+    std::string all;
+    for (const auto& l : h.lines) { all += l; all += '\n'; }
+    for (std::sregex_iterator it(all.begin(), all.end(), kDecl), end;
+         it != end; ++it)
+      names.insert((*it)[1].str());
+  }
+  // Casting the result type itself (constructor-style) is not a call.
+  names.erase("Status");
+  names.erase("Result");
+  return names;
+}
+
+void rule_discarded_status(const Source& src,
+                           const std::set<std::string>& status_fns,
+                           std::vector<Finding>& out) {
+  static const std::regex kVoidCast("\\(void\\)\\s*([^;]*)");
+  static const std::regex kCall("\\b([A-Za-z_][A-Za-z0-9_]*)\\s*\\(");
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    std::smatch m;
+    std::string rest = src.lines[i];
+    if (!std::regex_search(rest, m, kVoidCast)) continue;
+    const std::string expr = m[1].str();
+    for (std::sregex_iterator it(expr.begin(), expr.end(), kCall), end;
+         it != end; ++it) {
+      const std::string callee = (*it)[1].str();
+      if (status_fns.count(callee) == 0) continue;
+      out.push_back({"discarded-status", src.rel, static_cast<int>(i + 1),
+                     callee,
+                     "(void)-cast discards the Status/Result of '" + callee +
+                         "'; handle it or allowlist with a justification"});
+      break;
+    }
+  }
+}
+
+// --- rule 4: trace-category ---------------------------------------------
+
+struct CategoryTables {
+  std::set<std::string> declared;    // enum class Category
+  std::set<std::string> registered;  // cases in category_name()
+};
+
+CategoryTables collect_categories(const std::vector<Source>& all) {
+  CategoryTables t;
+  for (const Source& s : all) {
+    std::string text;
+    for (const auto& l : s.lines) { text += l; text += '\n'; }
+    if (s.rel == "src/trace/event.hpp") {
+      const std::size_t b = text.find("enum class Category");
+      const std::size_t e = b == std::string::npos ? b : text.find("};", b);
+      if (b != std::string::npos && e != std::string::npos) {
+        const std::string body = text.substr(b, e - b);
+        static const std::regex kEnum("\\b(k[A-Za-z0-9_]+)\\s*=");
+        for (std::sregex_iterator it(body.begin(), body.end(), kEnum), end;
+             it != end; ++it)
+          t.declared.insert((*it)[1].str());
+      }
+    }
+    if (s.rel == "src/trace/tracer.cpp") {
+      const std::size_t b = text.find("category_name");
+      const std::size_t e = b == std::string::npos ? b : text.find("}\n", b);
+      if (b != std::string::npos) {
+        const std::string body =
+            text.substr(b, e == std::string::npos ? text.size() - b : e - b);
+        static const std::regex kCase("case\\s+Category::(k[A-Za-z0-9_]+)");
+        for (std::sregex_iterator it(body.begin(), body.end(), kCase), end;
+             it != end; ++it)
+          t.registered.insert((*it)[1].str());
+      }
+    }
+  }
+  return t;
+}
+
+void rule_trace_category(const Source& src, const CategoryTables& tables,
+                         std::vector<Finding>& out) {
+  if (tables.declared.empty()) return;  // no trace layer in this tree
+  if (src.rel == "src/trace/event.hpp") {
+    for (const std::string& c : tables.declared)
+      if (tables.registered.count(c) == 0)
+        out.push_back({"trace-category", src.rel, 1, c,
+                       "Category::" + c +
+                           " is declared but not registered in "
+                           "category_name() (tracer.cpp)"});
+    return;
+  }
+  if (src.rel == "src/trace/tracer.cpp") return;  // the registry itself
+  static const std::regex kUse("Category::(k[A-Za-z0-9_]+)");
+  for (std::size_t i = 0; i < src.lines.size(); ++i) {
+    const std::string& line = src.lines[i];
+    for (std::sregex_iterator it(line.begin(), line.end(), kUse), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (tables.registered.count(name) == 0)
+        out.push_back({"trace-category", src.rel, static_cast<int>(i + 1),
+                       name,
+                       "Category::" + name +
+                           " used here is not registered in category_name()"});
+    }
+  }
+}
+
+// --- rule 5: config-doc -------------------------------------------------
+
+// Keys live in string literals, so this rule scans the RAW text (the
+// stripped twin blanked literals out).
+void rule_config_doc_raw(const std::string& rel, const std::string& raw,
+                         const std::optional<std::string>& doc,
+                         std::vector<Finding>& out) {
+  if (rel.rfind("src/config/", 0) != 0 || rel.find(".cpp") == std::string::npos)
+    return;
+  static const std::regex kKey(
+      "\\b(?:child|children_named|attr|attr_or)\\s*\\(\\s*\"([^\"]+)\"");
+  std::set<std::string> reported;
+  for (std::sregex_iterator it(raw.begin(), raw.end(), kKey), end; it != end;
+       ++it) {
+    const std::string key = (*it)[1].str();
+    if (reported.count(key) != 0) continue;
+    if (doc && doc->find(key) != std::string::npos) continue;
+    reported.insert(key);
+    out.push_back({"config-doc", rel,
+                   line_of_offset(raw, static_cast<std::size_t>(it->position())),
+                   key,
+                   "config key \"" + key +
+                       "\" is parsed here but never mentioned in DESIGN.md"});
+  }
+}
+
+// --- allowlist ----------------------------------------------------------
+
+std::vector<AllowEntry> parse_allowlist(const fs::path& p,
+                                        std::vector<Finding>& out) {
+  std::vector<AllowEntry> entries;
+  auto text = read_file(p);
+  if (!text) return entries;
+  const auto lines = split_lines(*text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t hash = line.find('#');
+    std::string justification =
+        hash == std::string::npos ? "" : line.substr(hash + 1);
+    while (!justification.empty() && justification.front() == ' ')
+      justification.erase(justification.begin());
+    std::istringstream is(line.substr(0, hash));
+    AllowEntry e;
+    e.line = static_cast<int>(i + 1);
+    is >> e.rule >> e.path;
+    if (const std::size_t colon = e.path.find(':');
+        colon != std::string::npos) {
+      e.symbol = e.path.substr(colon + 1);
+      e.path = e.path.substr(0, colon);
+    }
+    e.justification = justification;
+    if (e.rule.empty() || e.path.empty() || e.justification.empty()) {
+      out.push_back({"allowlist", p.generic_string(), e.line, e.rule,
+                     "malformed allowlist entry (need `rule path[:symbol]  "
+                     "# justification`)"});
+      continue;
+    }
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+bool suppressed_by(const Finding& f, const AllowEntry& e) {
+  if (f.rule != e.rule) return false;
+  if (f.file.size() < e.path.size() ||
+      f.file.compare(f.file.size() - e.path.size(), e.path.size(), e.path) != 0)
+    return false;
+  if (!e.symbol.empty() && f.symbol != e.symbol) return false;
+  return true;
+}
+
+// --- driver -------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') { out += '\\'; out += c; }
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr
+      << "usage: dmr_lint [--root DIR] [--compdb FILE] [--allowlist FILE]\n"
+         "                [--design FILE] [--json FILE] [--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--root") { if (const char* v = next()) opt.root = v; else return usage(); }
+    else if (a == "--compdb") { if (const char* v = next()) opt.compdb = v; else return usage(); }
+    else if (a == "--allowlist") { if (const char* v = next()) opt.allowlist = v; else return usage(); }
+    else if (a == "--design") { if (const char* v = next()) opt.design = v; else return usage(); }
+    else if (a == "--json") { if (const char* v = next()) opt.json_out = v; else return usage(); }
+    else if (a == "--verbose") opt.verbose = true;
+    else return usage();
+  }
+  if (opt.design.empty()) opt.design = opt.root / "DESIGN.md";
+  if (opt.allowlist.empty()) {
+    const fs::path def = opt.root / "tools" / "dmr_lint" / "allowlist.txt";
+    if (fs::exists(def)) opt.allowlist = def;
+  }
+
+  // File set: every "file" in the compilation database that lives under
+  // root/src, plus a recursive scan (headers are not in the compdb; and
+  // without a compdb the scan alone drives the lint).
+  std::set<fs::path> paths;
+  if (!opt.compdb.empty())
+    for (const fs::path& f : compdb_files(opt.compdb)) {
+      std::error_code ec;
+      const fs::path canon = fs::weakly_canonical(f, ec);
+      if (!ec && canon.generic_string().find(
+                     fs::weakly_canonical(opt.root / "src").generic_string()) == 0)
+        paths.insert(canon);
+    }
+  const fs::path src_root = opt.root / "src";
+  if (!fs::exists(src_root)) {
+    std::cerr << "dmr_lint: no src/ under " << opt.root << "\n";
+    return 2;
+  }
+  for (const auto& de : fs::recursive_directory_iterator(src_root)) {
+    if (!de.is_regular_file()) continue;
+    const std::string ext = de.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      paths.insert(fs::weakly_canonical(de.path()));
+  }
+
+  std::vector<Source> sources;
+  std::vector<Source> headers;
+  std::map<std::string, std::string> raw_texts;
+  std::map<std::string, std::string> stripped_texts;
+  for (const fs::path& p : paths) {
+    auto text = read_file(p);
+    if (!text) continue;
+    Source s;
+    s.rel = rel_path(p, opt.root);
+    const std::string stripped = strip_comments_and_strings(*text);
+    s.lines = split_lines(stripped);
+    raw_texts[s.rel] = *text;
+    stripped_texts[s.rel] = stripped;
+    if (p.extension() == ".hpp" || p.extension() == ".h") headers.push_back(s);
+    sources.push_back(std::move(s));
+  }
+  if (opt.verbose)
+    std::cerr << "dmr_lint: scanning " << sources.size() << " files\n";
+
+  std::vector<Finding> findings;
+  const std::set<std::string> status_fns = collect_status_functions(headers);
+  const CategoryTables categories = collect_categories(sources);
+  const auto design_text = read_file(opt.design);
+
+  for (const Source& s : sources) {
+    rule_mutex_annotation(s, findings);
+    rule_clock_mixing(s, stripped_texts[s.rel], findings);
+    rule_discarded_status(s, status_fns, findings);
+    rule_trace_category(s, categories, findings);
+    rule_config_doc_raw(s.rel, raw_texts[s.rel], design_text, findings);
+  }
+
+  std::vector<AllowEntry> allow;
+  if (!opt.allowlist.empty()) allow = parse_allowlist(opt.allowlist, findings);
+  for (Finding& f : findings)
+    for (const AllowEntry& e : allow)
+      if (suppressed_by(f, e)) { f.suppressed = true; e.used = true; }
+
+  int unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      if (opt.verbose)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] suppressed: " << f.message << "\n";
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  for (const AllowEntry& e : allow)
+    if (!e.used)
+      std::cerr << "dmr_lint: warning: unused allowlist entry (line " << e.line
+                << "): " << e.rule << " " << e.path << "\n";
+
+  if (!opt.json_out.empty()) {
+    std::error_code ec;
+    fs::create_directories(opt.json_out.parent_path(), ec);
+    std::ofstream js(opt.json_out);
+    js << "{\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      js << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+         << json_escape(f.file) << "\", \"line\": " << f.line
+         << ", \"symbol\": \"" << json_escape(f.symbol)
+         << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+         << ", \"message\": \"" << json_escape(f.message) << "\"}"
+         << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"unsuppressed\": " << unsuppressed
+       << ",\n  \"total\": " << findings.size() << "\n}\n";
+  }
+
+  std::cout << "dmr_lint: " << findings.size() << " finding(s), "
+            << unsuppressed << " unsuppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

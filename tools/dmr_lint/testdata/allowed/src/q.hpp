@@ -1,0 +1,5 @@
+#pragma once
+#include <mutex>
+class Queue {
+  std::mutex mutex_;
+};

@@ -1,0 +1,9 @@
+#pragma once
+namespace dmr {
+#define DMR_GUARDED_BY(x)
+class Mutex {};
+class Channel {
+  mutable Mutex mutex_;
+  int items_ DMR_GUARDED_BY(mutex_) = 0;
+};
+}  // namespace dmr

@@ -1,0 +1,5 @@
+struct XmlNode { const char* attr(const char*) const; };
+void parse(const XmlNode& n) {
+  (void)n.attr("documented_key");
+  (void)n.attr("secret_knob");
+}

@@ -1,0 +1,3 @@
+#include "io.hpp"
+void fire_and_forget() { (void)do_io(3); }
+void handled() { Status s = do_io(4); (void)s.ok; }

@@ -1,0 +1,3 @@
+#pragma once
+struct Status { bool ok; };
+Status do_io(int fd);

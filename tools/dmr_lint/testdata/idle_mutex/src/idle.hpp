@@ -1,0 +1,5 @@
+#pragma once
+class Thing {
+  mutable Mutex lonely_mutex_;
+  int unguarded_ = 0;
+};

@@ -1,0 +1,9 @@
+#pragma once
+#include <cstdint>
+namespace dmr::trace {
+enum class Category : std::uint32_t {
+  kDes = 1u << 0,
+  kNew = 1u << 1,
+};
+const char* category_name(Category c);
+}  // namespace dmr::trace

@@ -1,0 +1,9 @@
+#include "trace/event.hpp"
+namespace dmr::trace {
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kDes: return "des";
+    default: return "?";
+  }
+}
+}  // namespace dmr::trace

@@ -1,0 +1,4 @@
+#include "trace/event.hpp"
+using dmr::trace::Category;
+Category used() { return Category::kNew; }
+Category fine() { return Category::kDes; }
