@@ -7,6 +7,7 @@
 //     per-stage ns/op and byte flow of the staged write pipeline.
 //
 // Usage: bench_pipeline [output.json]   (default: BENCH_pipeline.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -131,27 +132,54 @@ int main(int argc, char** argv) {
   // fully enabled (ring-record cost). The zero-trace acceptance bar:
   // baseline and uninstalled paths are the same code, and the disabled
   // column should sit within noise of the baseline.
+  //
+  // Each mode is warmed up once, then the three are measured in
+  // interleaved rounds and the per-mode minimum kept. A single
+  // sequential pass is not comparable: whichever mode runs first pays
+  // the allocator and page-fault warmup, which once made the *enabled*
+  // run measure faster than the baseline.
   {
     const Bytes probe = 1 * MiB;
-    const int iters = 2000;
-    const double base_ns = shm_write_path_ns(probe, iters);
-    double disabled_ns = base_ns;
-    double enabled_ns = base_ns;
+    const int iters = 500;
+    const int rounds = 5;
+    const auto run_none = [&] { return shm_write_path_ns(probe, iters); };
+    double base_ns = 0.0;
+    double disabled_ns = 0.0;
+    double enabled_ns = 0.0;
     bool compiled = false;
 #ifdef DMR_TRACE
     compiled = true;
-    {
+    const auto run_disabled = [&] {
       trace::TracerOptions off;
       off.categories = 0;
       trace::Tracer off_tracer(off);
       trace::ScopedTracer s(&off_tracer);
-      disabled_ns = shm_write_path_ns(probe, iters);
-    }
-    {
+      return shm_write_path_ns(probe, iters);
+    };
+    const auto run_enabled = [&] {
       trace::Tracer on_tracer;
       trace::ScopedTracer s(&on_tracer);
-      enabled_ns = shm_write_path_ns(probe, iters);
+      return shm_write_path_ns(probe, iters);
+    };
+    (void)run_none();
+    (void)run_disabled();
+    (void)run_enabled();
+    for (int r = 0; r < rounds; ++r) {
+      const double b = run_none();
+      const double d = run_disabled();
+      const double e = run_enabled();
+      base_ns = r == 0 ? b : std::min(base_ns, b);
+      disabled_ns = r == 0 ? d : std::min(disabled_ns, d);
+      enabled_ns = r == 0 ? e : std::min(enabled_ns, e);
     }
+#else
+    (void)run_none();
+    for (int r = 0; r < rounds; ++r) {
+      const double b = run_none();
+      base_ns = r == 0 ? b : std::min(base_ns, b);
+    }
+    disabled_ns = base_ns;
+    enabled_ns = base_ns;
 #endif
     std::printf(
         "trace overhead (shm write path, 1 MiB): none %.0f ns, installed+"

@@ -1,10 +1,12 @@
 // Quickstart: the paper's §III-D example, in C++.
 //
 // One SMP node with three compute threads (clients) and one dedicated
-// I/O core (the DamarisNode's server thread). Each client writes a 3-D
-// variable, signals an event, ends the iteration, and the dedicated core
-// persists everything to one DH5 file per iteration — asynchronously,
-// off the compute threads' critical path.
+// I/O core (the DamarisNode's server thread). Each client submits a 3-D
+// variable with write_async() — the call copies and returns
+// immediately, so the "computation" of the next step overlaps the
+// handoff — then signals an event and ends the iteration, which fences
+// the outstanding ticket before the dedicated core persists everything
+// to one DH5 file per iteration.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -58,15 +60,20 @@ int main() {
           my_data[i] = static_cast<float>(step * 100 + c) +
                        0.001f * static_cast<float>(i);
         }
-        // df_write + df_signal, as in the paper's Fortran example.
-        auto s = client.write(
+        // df_write + df_signal, as in the paper's Fortran example —
+        // except the write is a ticket: the buffer is reusable the
+        // moment write_async() returns, and end_iteration() fences the
+        // ticket (wait() would too; checking the final status here
+        // keeps the example honest about failures).
+        auto ticket = client.write_async(
             "my_variable", step,
             std::as_bytes(std::span<const float>(my_data)));
+        (void)client.signal("my_event", step);
+        auto s = ticket.wait();
         if (!s.is_ok()) {
           std::fprintf(stderr, "write failed: %s\n", s.to_string().c_str());
           return;
         }
-        (void)client.signal("my_event", step);
         (void)client.end_iteration(step);
       }
       (void)client.finalize();

@@ -6,6 +6,7 @@
 #   scripts/check.sh --fast     # lint + ASan only (quick local loop)
 #   scripts/check.sh --model    # ... plus the shm-protocol model checker
 #   scripts/check.sh --chaos    # ... plus the fixed-seed fault matrix
+#   scripts/check.sh --sched    # ... plus the adaptive-scheduler gate
 #   scripts/check.sh --static   # ... plus the static gates: dmr_lint +
 #                               #     -Wthread-safety build (Clang only)
 #
@@ -23,6 +24,7 @@ RUN_TSAN=0
 RUN_UBSAN=1
 RUN_MODEL=0
 RUN_CHAOS=0
+RUN_SCHED=0
 RUN_STATIC=0
 for arg in "$@"; do
   case "$arg" in
@@ -30,6 +32,7 @@ for arg in "$@"; do
     --fast) RUN_UBSAN=0 ;;
     --model) RUN_MODEL=1 ;;
     --chaos) RUN_CHAOS=1 ;;
+    --sched) RUN_SCHED=1 ;;
     --static) RUN_STATIC=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -129,6 +132,19 @@ if [ "$RUN_CHAOS" = 1 ]; then
   cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-mc -j "$JOBS" --target bench_fault
   ./build-mc/bench/bench_fault build-mc/BENCH_fault.json --check
+fi
+
+# ------------------------------------------------- scheduling harness
+# Static vs adaptive slot scheduling (bench_sched --check): the
+# adaptive controller must beat static slots on the imbalanced AMR
+# workload, match them within noise on the balanced one, retune, and be
+# seed-deterministic; the checkpoint/restart burst must round-trip
+# through DH5. Optimized tree, ~60s budget.
+if [ "$RUN_SCHED" = 1 ]; then
+  step "sched (bench_sched --check, build-mc)"
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-mc -j "$JOBS" --target bench_sched
+  ./build-mc/bench/bench_sched build-mc/BENCH_sched.json --check
 fi
 
 # ------------------------------------------------------- static gates

@@ -1,5 +1,7 @@
 #include "cm1/workload.hpp"
 
+#include "common/rng.hpp"
+
 namespace dmr::cm1 {
 
 namespace {
@@ -21,6 +23,39 @@ WorkloadModel make(std::uint64_t std_points, std::uint64_t ded_points,
 }
 
 }  // namespace
+
+Bytes WorkloadModel::bytes_for_rank(int rank, int phase,
+                                    std::uint64_t seed) const {
+  const Bytes base = output_bytes_per_rank();
+  if (imbalance <= 0.0) return base;
+  // AMR refinement is *persistent*: a rank holding a refined subdomain
+  // stays heavy for many iterations while the mesh drifts slowly. The
+  // factor is therefore a per-rank heavy-tailed draw (sigma =
+  // `imbalance`) modulated by a small per-(rank, phase) drift, each
+  // keyed independently so no draw perturbs another's stream
+  // (reproducible under any event interleaving). mu = -sigma^2/2 makes
+  // each lognormal's mean exactly 1, so the expected aggregate volume
+  // matches the uniform workload.
+  constexpr double kDriftSigma = 0.1;
+  const auto urank = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+      rank));
+  Rng persistent = Rng::for_entity(seed, urank << 32);
+  Rng drift = Rng::for_entity(
+      seed, (urank << 32) | static_cast<std::uint32_t>(phase + 1));
+  const double factor =
+      persistent.lognormal(-0.5 * imbalance * imbalance, imbalance) *
+      drift.lognormal(-0.5 * kDriftSigma * kDriftSigma, kDriftSigma);
+  const auto scaled =
+      static_cast<Bytes>(static_cast<double>(base) * factor + 0.5);
+  return scaled > 0 ? scaled : 1;  // a rank always emits something
+}
+
+WorkloadModel amr_workload(bool dedicated_core_mode, double imbalance,
+                           SimTime iteration_seconds) {
+  WorkloadModel w = kraken_workload(dedicated_core_mode, iteration_seconds);
+  w.imbalance = imbalance;
+  return w;
+}
 
 WorkloadModel kraken_workload(bool dedicated_core_mode,
                               SimTime iteration_seconds) {

@@ -28,10 +28,25 @@ struct WorkloadModel {
   /// A write phase happens every this many iterations.
   int write_interval = 1;
 
+  /// AMR-style load imbalance. 0 (default) = uniform: every rank emits
+  /// exactly output_bytes_per_rank() each phase (the paper's CM1, and
+  /// the timeline the pipeline-equivalence goldens pin). > 0 = each
+  /// rank's payload is scaled by a deterministic seeded heavy-tailed
+  /// *persistent* factor (refined subdomains emit far more than coarse
+  /// ones, and stay refined across iterations; `imbalance` is the
+  /// lognormal sigma) times a small per-phase drift. Unit mean in
+  /// expectation either way.
+  double imbalance = 0.0;
+
   Bytes output_bytes_per_rank() const {
     return static_cast<Bytes>(static_cast<double>(points_per_rank) *
                               bytes_per_point);
   }
+
+  /// Payload of `rank` in write phase `phase` under master `seed`.
+  /// Identical inputs give identical bytes; imbalance == 0 returns
+  /// output_bytes_per_rank() exactly.
+  Bytes bytes_for_rank(int rank, int phase, std::uint64_t seed) const;
 };
 
 /// Kraken runs (Fig. 2/4/5/6): per-core subdomain 44x44x200 standard,
@@ -52,6 +67,15 @@ WorkloadModel grid5000_workload(bool dedicated_core_mode,
 WorkloadModel blueprint_workload(bool dedicated_core_mode,
                                  double bytes_per_point,
                                  SimTime iteration_seconds = 4.1);
+
+/// AMR-style variant of the Kraken workload: same nominal per-rank
+/// volume, but each rank carries a persistent seeded heavy-tailed
+/// unit-mean factor (`imbalance` = lognormal sigma; 1.0 gives a
+/// p95/median ratio of ~5x — a few refined subdomains dominate every
+/// phase) plus a small per-phase drift. Exercises the adaptive slot
+/// scheduler, which learns the persistent part within a phase or two.
+WorkloadModel amr_workload(bool dedicated_core_mode, double imbalance = 1.0,
+                           SimTime iteration_seconds = 4.1);
 
 /// Redistributes a *standard* (no dedicated core) workload over
 /// `cores_per_node - dedicated` compute cores per node: same global

@@ -322,6 +322,25 @@ Result<Config> Config::from_xml(const XmlNode& root) {
     }
   }
 
+  // <scheduling alpha="0.3" adaptive="false"/> — §IV-D write-scheduling
+  // knobs. alpha is validated here, not clamped: a config asking for an
+  // out-of-range smoothing factor is a mistake worth surfacing.
+  if (const XmlNode* sch = root.child("scheduling")) {
+    Status s = Status::ok();
+    if (const std::string* a = sch->attr("alpha")) {
+      s = parse_double(*a, "scheduling alpha", cfg.scheduling_.alpha);
+      if (!s.is_ok()) return s;
+      if (!(cfg.scheduling_.alpha > 0.0) || cfg.scheduling_.alpha > 1.0) {
+        return invalid_argument("scheduling alpha must be in (0, 1], got '" +
+                                *a + "'");
+      }
+    }
+    if (const std::string* a = sch->attr("adaptive")) {
+      s = parse_bool(*a, "scheduling adaptive", cfg.scheduling_.adaptive);
+      if (!s.is_ok()) return s;
+    }
+  }
+
   // Cross-reference validation: every variable's layout must exist.
   for (const auto& [vname, var] : cfg.variables_) {
     if (!cfg.find_layout(var.layout_name)) {

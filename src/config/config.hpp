@@ -30,6 +30,7 @@
 #include "fault/degrade.hpp"
 #include "fault/fault.hpp"
 #include "format/types.hpp"
+#include "sched/slot_scheduler.hpp"
 
 namespace dmr::config {
 
@@ -63,6 +64,17 @@ struct EventDecl {
 struct ParameterDecl {
   std::string name;
   std::string value;  // initial value, as text
+};
+
+/// §IV-D write-scheduling knobs from the <scheduling> section. `alpha`
+/// is the EMA smoothing factor shared by the static SlotScheduler's
+/// interval estimate and the adaptive controller's load estimates;
+/// parse-time validated to (0, 1]. `adaptive` selects the trace-fed
+/// adaptive controller (sched/adaptive.hpp) over static uniform slots
+/// in harnesses that build a simulated run from this configuration.
+struct SchedulingConfig {
+  double alpha = sched::kDefaultAlpha;
+  bool adaptive = false;
 };
 
 /// Parsed, validated configuration.
@@ -104,6 +116,10 @@ class Config {
   /// defaults (retries disabled, no fallbacks) when absent.
   const fault::ResilienceConfig& resilience() const { return resilience_; }
 
+  /// Write-scheduling knobs from the <scheduling> section; defaults
+  /// (alpha 0.3, static slots) when absent.
+  const SchedulingConfig& scheduling() const { return scheduling_; }
+
  private:
   static Result<Config> from_xml(const XmlNode& root);
 
@@ -116,6 +132,7 @@ class Config {
   std::map<std::string, ParameterDecl> parameters_;
   fault::FaultPlan fault_plan_;
   fault::ResilienceConfig resilience_;
+  SchedulingConfig scheduling_;
 };
 
 }  // namespace dmr::config

@@ -1,5 +1,6 @@
 #include "core/capi.hpp"
 
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -15,6 +16,9 @@ Mutex g_mutex;
 std::unique_ptr<DamarisNode> g_node DMR_GUARDED_BY(g_mutex);
 thread_local int t_client_id = -1;
 thread_local std::string t_last_error;
+/// Outstanding async tickets of this client thread, keyed by the
+/// node-global ticket id handed back from df_write_async.
+thread_local std::map<std::int64_t, WriteTicket> t_tickets;
 
 int fail(const std::string& msg, int code = -1) {
   t_last_error = msg;
@@ -84,6 +88,47 @@ int df_write(const char* variable, std::int64_t step, const void* data) {
   const std::span<const std::byte> span(
       static_cast<const std::byte*>(data), layout->byte_size());
   return check(node->client(t_client_id).write(variable, step, span));
+}
+
+std::int64_t df_write_async(const char* variable, std::int64_t step,
+                            const void* data) {
+  DamarisNode* node = node_or_null();
+  if (!node || t_client_id < 0) return fail("not initialized", -2);
+  const format::Layout* layout = node->config().layout_of(variable);
+  if (!layout) return fail(std::string("unknown variable ") + variable, -3);
+  const std::span<const std::byte> span(static_cast<const std::byte*>(data),
+                                        layout->byte_size());
+  WriteTicket ticket =
+      node->client(t_client_id).write_async(variable, step, span);
+  const auto id = static_cast<std::int64_t>(ticket.id());
+  t_tickets.emplace(id, std::move(ticket));
+  t_last_error.clear();
+  return id;
+}
+
+int df_wait(std::int64_t ticket) {
+  auto it = t_tickets.find(ticket);
+  if (it == t_tickets.end()) return fail("unknown ticket handle", -3);
+  const Status st = it->second.wait();
+  t_tickets.erase(it);
+  return check(st);
+}
+
+int df_test(std::int64_t ticket) {
+  auto it = t_tickets.find(ticket);
+  if (it == t_tickets.end()) return fail("unknown ticket handle", -3);
+  t_last_error.clear();
+  return it->second.done() ? 1 : 0;
+}
+
+int df_wait_all() {
+  Status first = Status::ok();
+  for (auto& [id, ticket] : t_tickets) {
+    const Status st = ticket.wait();
+    if (first.is_ok() && !st.is_ok()) first = st;
+  }
+  t_tickets.clear();
+  return check(first);
 }
 
 int df_signal(const char* event, std::int64_t step) {

@@ -33,6 +33,25 @@ int df_finalize();
 /// Copies `data` (size from the configured layout) into shared memory.
 int df_write(const char* variable, std::int64_t step, const void* data);
 
+/// Asynchronous df_write: submits the copy and returns a positive
+/// ticket handle immediately (negative on failure). The calling client
+/// keeps computing; pass the handle to df_wait / df_test, or call
+/// df_wait_all before df_end_iteration. Handles are per-thread.
+std::int64_t df_write_async(const char* variable, std::int64_t step,
+                            const void* data);
+
+/// Blocks until the ticket completes; returns its final status (0 ok)
+/// and releases the handle.
+int df_wait(std::int64_t ticket);
+
+/// Non-blocking poll: 1 when done, 0 while pending, negative for an
+/// unknown handle. Does not release the handle.
+int df_test(std::int64_t ticket);
+
+/// Waits for every outstanding async ticket of the calling thread;
+/// returns the first failure (0 when all succeeded). Releases them.
+int df_wait_all();
+
 /// Sends a user event.
 int df_signal(const char* event, std::int64_t step);
 

@@ -52,7 +52,8 @@ DamarisNode::DamarisNode(config::Config cfg, int num_clients,
       opts_(std::move(opts)),
       buffer_(std::make_unique<shm::SharedBuffer>(
           cfg_.buffer_size(), policy_from(cfg_), num_clients)),
-      client_stats_(num_clients) {
+      client_stats_(num_clients),
+      async_workers_(static_cast<std::size_t>(std::max(num_clients, 0))) {
   // One server shard per configured dedicated core; never more shards
   // than clients.
   const int shards =
@@ -114,6 +115,9 @@ DamarisNode::DamarisNode(config::Config cfg, int num_clients,
 }
 
 DamarisNode::~DamarisNode() {
+  // Submission workers exist independently of started_ and hold
+  // references into the buffer and queues: retire them first.
+  stop_async_workers();
   if (started_) {
     for (auto& shard : shards_) shard->queue.close();
     for (auto& shard : shards_) {
@@ -142,6 +146,9 @@ Client DamarisNode::client(int id) { return Client(this, id); }
 
 Status DamarisNode::stop() {
   if (!started_) return failed_precondition("node not started");
+  // Drain queued async submissions while the servers can still consume
+  // them, then close the shard queues.
+  stop_async_workers();
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
@@ -524,90 +531,356 @@ Status Client::write(const std::string& variable, std::int64_t iteration,
 Status Client::write_sized(const std::string& variable,
                            std::int64_t iteration,
                            std::span<const std::byte> data) {
-  const auto t0 = Clock::now();
   const std::uint32_t id = node_->name_id(variable);
   if (id == ~0u) return not_found("variable '" + variable + "' unknown");
-  Status st = node_->client_write(id_, id, iteration, data);
-  if (!st.is_ok()) return st;
+  // The blocking API is submit + wait on the async path. No payload
+  // copy: the caller's buffer outlives the wait.
+  return node_
+      ->submit_copy_write(id_, id, iteration, data, /*copy=*/false, {})
+      .wait();
+}
 
-  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
-  MutexLock lock(node_->stats_mutex_);
-  ClientStats& cs = node_->client_stats_[id_];
-  ++cs.writes;
-  cs.bytes_written += data.size();
-  cs.write_seconds += dt;
-  cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
-  return Status::ok();
+WriteTicket Client::write_async(const std::string& variable,
+                                std::int64_t iteration,
+                                std::span<const std::byte> data,
+                                AsyncWriteOptions opts) {
+  const format::Layout* layout = node_->cfg_.layout_of(variable);
+  if (!layout) {
+    return node_->failed_ticket(
+        not_found("variable '" + variable + "' not configured"),
+        opts.on_complete);
+  }
+  if (data.size() != layout->byte_size()) {
+    return node_->failed_ticket(
+        invalid_argument("variable '" + variable + "': payload is " +
+                         std::to_string(data.size()) + " bytes, layout " +
+                         std::to_string(layout->byte_size())),
+        opts.on_complete);
+  }
+  return write_sized_async(variable, iteration, data, std::move(opts));
+}
+
+WriteTicket Client::write_sized_async(const std::string& variable,
+                                      std::int64_t iteration,
+                                      std::span<const std::byte> data,
+                                      AsyncWriteOptions opts) {
+  const std::uint32_t id = node_->name_id(variable);
+  if (id == ~0u) {
+    return node_->failed_ticket(not_found("variable '" + variable + "' unknown"),
+                                opts.on_complete);
+  }
+  return node_->submit_copy_write(id_, id, iteration, data, /*copy=*/true,
+                                  std::move(opts));
+}
+
+// ------------------------------------------------- async submission path
+
+WriteTicket DamarisNode::failed_ticket(const Status& status,
+                                       const WriteCallback& cb) {
+  auto state = std::make_shared<detail::TicketState>(
+      ticket_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  {
+    MutexLock lock(state->mutex);
+    state->status = status;
+    state->outcome = WriteOutcome::kFailed;
+    state->completion_seq =
+        ticket_completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  if (cb) cb(WriteTicket(state));
+  {
+    MutexLock lock(state->mutex);
+    state->done = true;
+  }
+  state->cv.notify_all();
+  return WriteTicket(std::move(state));
+}
+
+WriteTicket DamarisNode::submit_copy_write(int client, std::uint32_t name_id,
+                                           std::int64_t iteration,
+                                           std::span<const std::byte> data,
+                                           bool copy, AsyncWriteOptions opts) {
+  AsyncSubmission sub;
+  sub.kind = AsyncSubmission::Kind::kCopyWrite;
+  sub.name_id = name_id;
+  sub.iteration = iteration;
+  if (copy) {
+    sub.owned.assign(data.begin(), data.end());
+    sub.view = std::span<const std::byte>(sub.owned);
+  } else {
+    sub.view = data;
+  }
+  sub.deps.reserve(opts.after.size());
+  for (const WriteTicket& dep : opts.after) {
+    if (dep.state_ != nullptr) sub.deps.push_back(dep.state_);
+  }
+  sub.on_complete = std::move(opts.on_complete);
+  return submit(client, std::move(sub));
+}
+
+WriteTicket DamarisNode::submit_publish(int client, std::uint32_t name_id,
+                                        std::int64_t iteration,
+                                        shm::Block block) {
+  AsyncSubmission sub;
+  sub.kind = AsyncSubmission::Kind::kPublishBlock;
+  sub.name_id = name_id;
+  sub.iteration = iteration;
+  sub.block = block;
+  return submit(client, std::move(sub));
+}
+
+WriteTicket DamarisNode::submit(int client, AsyncSubmission sub) {
+  if (client < 0 || client >= num_clients_) {
+    return failed_ticket(
+        invalid_argument("client id " + std::to_string(client) +
+                         " out of range"),
+        sub.on_complete);
+  }
+  auto state = std::make_shared<detail::TicketState>(
+      ticket_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  sub.state = state;
+  AsyncWorker* worker = async_worker(client);
+  {
+    MutexLock lock(worker->mutex);
+    // `owned` moves with the submission; re-anchor the view on arrival.
+    if (!sub.owned.empty()) sub.view = std::span<const std::byte>(sub.owned);
+    worker->queue.push_back(std::move(sub));
+  }
+  worker->cv.notify_all();
+  return WriteTicket(std::move(state));
+}
+
+DamarisNode::AsyncWorker* DamarisNode::async_worker(int client) {
+  MutexLock lock(async_mutex_);
+  auto& slot = async_workers_[static_cast<std::size_t>(client)];
+  if (!slot) {
+    slot = std::make_unique<AsyncWorker>();
+    AsyncWorker* w = slot.get();
+    w->thread = std::thread([this, client, w] { async_worker_main(client, *w); });
+  }
+  return slot.get();
+}
+
+void DamarisNode::async_worker_main(int client, AsyncWorker& worker) {
+  for (;;) {
+    AsyncSubmission sub;
+    {
+      MutexLock lock(worker.mutex);
+      while (worker.queue.empty() && !worker.stopping) {
+        worker.cv.wait(worker.mutex);
+      }
+      if (worker.queue.empty()) return;  // stopping and fully drained
+      sub = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      if (!sub.owned.empty()) sub.view = std::span<const std::byte>(sub.owned);
+      worker.in_flight = true;
+    }
+    // Honour dependences before touching shared memory. Cycles are
+    // impossible (a ticket only depends on already-created tickets).
+    for (const detail::TicketStatePtr& dep : sub.deps) {
+      MutexLock lock(dep->mutex);
+      while (!dep->done) dep->cv.wait(dep->mutex);
+    }
+    execute_submission(client, sub);
+    {
+      MutexLock lock(worker.mutex);
+      worker.in_flight = false;
+    }
+    worker.cv.notify_all();  // wake drain_async() fences
+  }
+}
+
+void DamarisNode::execute_submission(int client, AsyncSubmission& sub) {
+  const auto t0 = Clock::now();
+  WriteOutcome outcome = WriteOutcome::kFailed;
+  Status st;
+  Bytes bytes = 0;
+  if (sub.kind == AsyncSubmission::Kind::kCopyWrite) {
+    st = client_write(client, sub.name_id, sub.iteration, sub.view, &outcome);
+    bytes = sub.view.size();
+  } else {
+    st = publish_block(client, sub.name_id, sub.iteration, sub.block, &outcome);
+    bytes = sub.block.size;
+  }
+  const double dt = seconds_since(t0);
+  if (st.is_ok()) {
+    MutexLock lock(stats_mutex_);
+    ClientStats& cs = client_stats_[client];
+    ++cs.writes;
+    cs.bytes_written += bytes;
+    cs.write_seconds += dt;
+    cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
+  }
+  // Ordering contract (core/async.hpp): publish Status/outcome, run the
+  // callback, and only then flip done — wait() returning implies the
+  // callback finished.
+  const std::uint64_t seq =
+      ticket_completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    MutexLock lock(sub.state->mutex);
+    sub.state->status = st;
+    sub.state->outcome = outcome;
+    sub.state->completion_seq = seq;
+  }
+  if (sub.on_complete) sub.on_complete(WriteTicket(sub.state));
+  {
+    MutexLock lock(sub.state->mutex);
+    sub.state->done = true;
+  }
+  sub.state->cv.notify_all();
+}
+
+void DamarisNode::drain_async(int client) {
+  AsyncWorker* worker = nullptr;
+  {
+    MutexLock lock(async_mutex_);
+    if (client < 0 ||
+        client >= static_cast<int>(async_workers_.size())) {
+      return;
+    }
+    worker = async_workers_[static_cast<std::size_t>(client)].get();
+  }
+  if (worker == nullptr) return;
+  MutexLock lock(worker->mutex);
+  while (!worker->queue.empty() || worker->in_flight) {
+    worker->cv.wait(worker->mutex);
+  }
+}
+
+void DamarisNode::stop_async_workers() {
+  std::vector<std::unique_ptr<AsyncWorker>> retired;
+  {
+    MutexLock lock(async_mutex_);
+    for (auto& slot : async_workers_) {
+      if (slot) retired.push_back(std::move(slot));
+    }
+  }
+  for (auto& worker : retired) {
+    {
+      MutexLock lock(worker->mutex);
+      worker->stopping = true;
+    }
+    worker->cv.notify_all();
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+// --------------------------------------------- the write path as tasks
+
+des::Task<Result<shm::Block>> DamarisNode::ingest_stage(int client,
+                                                        std::int64_t iteration,
+                                                        Bytes size) {
+  // Three ways this can come back without a block, all funnelled
+  // through the degrade controller: an injected exhaustion window, a
+  // real exhaustion (timeout), or — in an already-degraded mode — a
+  // single failed probe (no blocking wait: a degraded client must not
+  // stall the simulation).
+  if (injector_ != nullptr &&
+      injector_->fires_window(fault::Site::kShmExhaust,
+                              static_cast<double>(iteration))) {
+    co_return out_of_memory("injected shm exhaustion window at iteration " +
+                            std::to_string(iteration));
+  }
+  if (degrade_->mode() != fault::DegradeMode::kNormal) {
+    co_return buffer_->allocate(size, client);
+  }
+  co_return blocking_allocate(size, client);
+}
+
+des::Task<Status> DamarisNode::publish_stage(int client,
+                                             std::uint32_t name_id,
+                                             std::int64_t iteration,
+                                             std::span<const std::byte> data,
+                                             shm::Block block,
+                                             WriteOutcome* outcome) {
+  std::memcpy(buffer_->data(block), data.data(), data.size());
+  buffer_->note_write(block);
+
+  shm::Message msg;
+  msg.type = shm::MessageType::kWriteNotification;
+  msg.client_id = client;
+  msg.iteration = iteration;
+  msg.name_id = name_id;
+  msg.block = block;
+  if (shards_[shard_of(client)]->queue.push(msg)) {
+    degrade_->on_clear();
+    if (opts_.fault_checker != nullptr) {
+      opts_.fault_checker->note_write(client, iteration,
+                                      check::WriteOutcome::kPublished);
+    }
+    *outcome = WriteOutcome::kPublished;
+    co_return Status::ok();
+  }
+  // Dropped: the server is shutting down and will never consume this
+  // block, so the pusher must release it or it leaks until shutdown.
+  buffer_->deallocate(block);
+  const Status cause =
+      resource_busy("write of '" + names_.at(name_id) +
+                    "' dropped: server queue already closed");
+  co_return degraded_write(client, name_id, iteration, data,
+                           degrade_->on_pressure(), cause, outcome);
+}
+
+des::Task<Status> DamarisNode::write_task(int client, std::uint32_t name_id,
+                                          std::int64_t iteration,
+                                          std::span<const std::byte> data,
+                                          WriteOutcome* outcome) {
+  Result<shm::Block> block = co_await ingest_stage(client, iteration,
+                                                   data.size());
+  if (!block.is_ok()) {
+    if (block.status().code() != ErrorCode::kOutOfMemory) {
+      *outcome = WriteOutcome::kFailed;
+      co_return block.status();
+    }
+    co_return degraded_write(client, name_id, iteration, data,
+                             degrade_->on_pressure(), block.status(), outcome);
+  }
+  co_return co_await publish_stage(client, name_id, iteration, data,
+                                   block.value(), outcome);
 }
 
 Status DamarisNode::client_write(int client, std::uint32_t name_id,
                                  std::int64_t iteration,
-                                 std::span<const std::byte> data) {
-  const std::string& variable = names_.at(name_id);
+                                 std::span<const std::byte> data,
+                                 WriteOutcome* outcome) {
+  return run_task(write_task(client, name_id, iteration, data, outcome));
+}
 
-  // Stage the block into shared memory. Three ways this can come back
-  // without a block, all funnelled through the degrade controller:
-  // an injected exhaustion window, a real exhaustion (timeout), or —
-  // in an already-degraded mode — a single failed probe (no blocking
-  // wait: a degraded client must not stall the simulation).
-  Result<shm::Block> block = [&]() -> Result<shm::Block> {
-    if (injector_ != nullptr &&
-        injector_->fires_window(fault::Site::kShmExhaust,
-                                static_cast<double>(iteration))) {
-      return out_of_memory("injected shm exhaustion window at iteration " +
-                           std::to_string(iteration));
-    }
-    if (degrade_->mode() != fault::DegradeMode::kNormal) {
-      return buffer_->allocate(data.size(), client);
-    }
-    return blocking_allocate(data.size(), client);
-  }();
-
-  if (block.is_ok()) {
-    std::memcpy(buffer_->data(block.value()), data.data(), data.size());
-    buffer_->note_write(block.value());
-
-    shm::Message msg;
-    msg.type = shm::MessageType::kWriteNotification;
-    msg.client_id = client;
-    msg.iteration = iteration;
-    msg.name_id = name_id;
-    msg.block = block.value();
-    if (shards_[shard_of(client)]->queue.push(msg)) {
-      degrade_->on_clear();
-      if (opts_.fault_checker != nullptr) {
-        opts_.fault_checker->note_write(client, iteration,
-                                        check::WriteOutcome::kPublished);
-      }
-      return Status::ok();
-    }
-    // Dropped: the server is shutting down and will never consume this
-    // block, so the pusher must release it or it leaks until shutdown.
-    buffer_->deallocate(block.value());
-    const Status cause = resource_busy(
-        "write of '" + variable + "' dropped: server queue already closed");
-    return degraded_write(client, name_id, iteration, data,
-                          degrade_->on_pressure(), cause);
+Status DamarisNode::publish_block(int client, std::uint32_t name_id,
+                                  std::int64_t iteration, shm::Block block,
+                                  WriteOutcome* outcome) {
+  // dc_commit publishes an in-place write: the client's last chance to
+  // have touched the payload.
+  buffer_->note_write(block);
+  shm::Message msg;
+  msg.type = shm::MessageType::kWriteNotification;
+  msg.client_id = client;
+  msg.iteration = iteration;
+  msg.name_id = name_id;
+  msg.block = block;
+  if (!shards_[shard_of(client)]->queue.push(msg)) {
+    // Same leak hazard as the write path: a dropped notification leaves
+    // the committed block live forever unless we release it here.
+    buffer_->deallocate(block);
+    *outcome = WriteOutcome::kFailed;
+    return resource_busy("commit of '" + names_.at(name_id) +
+                         "' dropped: server queue already closed");
   }
-
-  if (block.status().code() != ErrorCode::kOutOfMemory) {
-    return block.status();
-  }
-  return degraded_write(client, name_id, iteration, data,
-                        degrade_->on_pressure(), block.status());
+  *outcome = WriteOutcome::kPublished;
+  return Status::ok();
 }
 
 Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
                                    std::int64_t iteration,
                                    std::span<const std::byte> data,
                                    fault::DegradeMode mode,
-                                   const Status& cause) {
+                                   const Status& cause, WriteOutcome* outcome) {
   const auto drop = [&]() -> Status {
     trace_fault(opts_.node_id, "write-dropped", iteration);
     if (opts_.fault_checker != nullptr) {
       opts_.fault_checker->note_write(client, iteration,
                                       check::WriteOutcome::kDropped);
     }
+    *outcome = WriteOutcome::kDropped;
     MutexLock lock(stats_mutex_);
     ++client_stats_[client].dropped_writes;
     client_stats_[client].dropped_bytes += data.size();
@@ -624,11 +897,13 @@ Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
         opts_.fault_checker->note_write(client, iteration,
                                         check::WriteOutcome::kSyncWritten);
       }
+      *outcome = WriteOutcome::kSyncFallback;
       MutexLock lock(stats_mutex_);
       ++client_stats_[client].sync_writes;
       return Status::ok();
     }
     if (resilience_.degrade.allow_drop) return drop();
+    *outcome = WriteOutcome::kFailed;
     return st;
   }
   if (resilience_.degrade.allow_drop) return drop();
@@ -637,6 +912,7 @@ Status DamarisNode::degraded_write(int client, std::uint32_t name_id,
     opts_.fault_checker->note_write(client, iteration,
                                     check::WriteOutcome::kFailed);
   }
+  *outcome = WriteOutcome::kFailed;
   return cause;
 }
 
@@ -695,7 +971,6 @@ Result<std::span<std::byte>> Client::alloc(const std::string& variable,
 }
 
 Status Client::commit(const std::string& variable, std::int64_t iteration) {
-  const auto t0 = Clock::now();
   const std::uint32_t id = node_->name_id(variable);
   if (id == ~0u) return not_found("variable '" + variable + "' unknown");
   shm::Block block;
@@ -708,31 +983,9 @@ Status Client::commit(const std::string& variable, std::int64_t iteration) {
     block = it->second;
     node_->pending_allocs_.erase(it);
   }
-  // dc_commit publishes an in-place write: the client's last chance to
-  // have touched the payload.
-  node_->buffer_->note_write(block);
-  shm::Message msg;
-  msg.type = shm::MessageType::kWriteNotification;
-  msg.client_id = id_;
-  msg.iteration = iteration;
-  msg.name_id = id;
-  msg.block = block;
-  if (!node_->shards_[node_->shard_of(id_)]->queue.push(msg)) {
-    // Same leak hazard as write_sized: a dropped notification leaves
-    // the committed block live forever unless we release it here.
-    node_->buffer_->deallocate(block);
-    return resource_busy("commit of '" + variable +
-                         "' dropped: server queue already closed");
-  }
-
-  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
-  MutexLock lock(node_->stats_mutex_);
-  ClientStats& cs = node_->client_stats_[id_];
-  ++cs.writes;
-  cs.bytes_written += block.size;
-  cs.write_seconds += dt;
-  cs.max_write_seconds = std::max(cs.max_write_seconds, dt);
-  return Status::ok();
+  // Publish through the async path so commits order with this client's
+  // pending async writes (submit + wait, like write_sized).
+  return node_->submit_publish(id_, id, iteration, block).wait();
 }
 
 Status Client::signal(const std::string& event, std::int64_t iteration) {
@@ -754,6 +1007,9 @@ Status Client::signal(const std::string& event, std::int64_t iteration) {
 }
 
 Status Client::end_iteration(std::int64_t iteration) {
+  // Fence: an iteration must not complete under this client's pending
+  // async writes (preserves the blocking API's ordering guarantees).
+  node_->drain_async(id_);
   shm::Message msg;
   msg.type = shm::MessageType::kUserEvent;
   msg.client_id = id_;
@@ -766,6 +1022,7 @@ Status Client::end_iteration(std::int64_t iteration) {
 }
 
 Status Client::finalize() {
+  node_->drain_async(id_);
   shm::Message msg;
   msg.type = shm::MessageType::kClientFinalize;
   msg.client_id = id_;

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -41,9 +42,11 @@
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "config/config.hpp"
+#include "core/async.hpp"
 #include "core/metadata.hpp"
 #include "core/persistency.hpp"
 #include "core/plugin.hpp"
+#include "des/task.hpp"
 #include "fault/degrade.hpp"
 #include "fault/fault.hpp"
 #include "shm/event_queue.hpp"
@@ -165,7 +168,8 @@ class Client {
 
   /// df_write: copies `data` into shared memory and notifies the server.
   /// The variable must be declared in the configuration; `data` must
-  /// match its layout size.
+  /// match its layout size. A thin wrapper over write_async(): submit +
+  /// wait on the same single write path.
   Status write(const std::string& variable, std::int64_t iteration,
                std::span<const std::byte> data);
 
@@ -174,6 +178,21 @@ class Client {
   /// payload size is whatever the caller provides.
   Status write_sized(const std::string& variable, std::int64_t iteration,
                      std::span<const std::byte> data);
+
+  /// Asynchronous df_write: copies `data` and returns a ticket
+  /// immediately; the handoff to the dedicated core happens on this
+  /// client's submission worker, after every ticket in `opts.after`
+  /// completed. Layout-checked like write(); a validation failure
+  /// returns an already-failed ticket (never an invalid handle).
+  WriteTicket write_async(const std::string& variable, std::int64_t iteration,
+                          std::span<const std::byte> data,
+                          AsyncWriteOptions opts = {});
+
+  /// write_sized's asynchronous counterpart (no layout-size check).
+  WriteTicket write_sized_async(const std::string& variable,
+                                std::int64_t iteration,
+                                std::span<const std::byte> data,
+                                AsyncWriteOptions opts = {});
 
   /// dc_alloc: reserves the variable's block in shared memory and
   /// returns a writable view — the simulation computes in place and then
@@ -191,11 +210,13 @@ class Client {
 
   /// Declares this client done with `iteration`; when all clients of the
   /// shard have, the shard runs the end-of-iteration behaviour
-  /// (persist + free).
+  /// (persist + free). Fences this client's outstanding async tickets
+  /// first, so an iteration never completes under its own writes.
   Status end_iteration(std::int64_t iteration);
 
-  /// df_finalize for this client. After the last client of a shard
-  /// finalizes, that shard drains and exits.
+  /// df_finalize for this client (fences outstanding async tickets).
+  /// After the last client of a shard finalizes, that shard drains and
+  /// exits.
   Status finalize();
 
   int id() const { return id_; }
@@ -300,16 +321,96 @@ class DamarisNode {
   Result<shm::Block> blocking_allocate(Bytes size, int client);
   std::uint32_t name_id(const std::string& name) const;  // ~0u if unknown
 
-  /// Full client write path: stage into shm and publish, or degrade
-  /// (sync passthrough / drop) per the resilience policy.
+  // --- the async write path (core/async.hpp) ---
+  //
+  // Every write — blocking or not — is an AsyncSubmission executed by
+  // the owning client's FIFO worker thread; the blocking API is
+  // submit + wait. The path itself is a des::Task chain (ingest stage:
+  // allocate + memcpy; publish stage: notify or degrade) driven to
+  // completion by run_task(), the same task shape the DES pipeline
+  // uses.
+
+  /// What one submission carries: either a payload to copy in
+  /// (write/write_async) or an already-staged block to publish
+  /// (commit). `view` aliases `owned` for async submissions and the
+  /// caller's buffer for blocking ones (the caller outlives wait()).
+  struct AsyncSubmission {
+    enum class Kind { kCopyWrite, kPublishBlock };
+    Kind kind = Kind::kCopyWrite;
+    detail::TicketStatePtr state;
+    std::uint32_t name_id = 0;
+    std::int64_t iteration = 0;
+    std::vector<std::byte> owned;
+    std::span<const std::byte> view;
+    shm::Block block;  // kPublishBlock only
+    std::vector<detail::TicketStatePtr> deps;
+    WriteCallback on_complete;
+  };
+
+  /// One submission worker per client (lazily spawned): a FIFO queue
+  /// drained by a dedicated thread, so submission order is execution
+  /// order and a single client's async timeline is deterministic.
+  struct AsyncWorker {
+    Mutex mutex;
+    CondVar cv;
+    std::deque<AsyncSubmission> queue DMR_GUARDED_BY(mutex);
+    bool in_flight DMR_GUARDED_BY(mutex) = false;
+    bool stopping DMR_GUARDED_BY(mutex) = false;
+    std::thread thread;
+  };
+
+  /// Enqueues a copy-write submission and returns its ticket.
+  WriteTicket submit_copy_write(int client, std::uint32_t name_id,
+                                std::int64_t iteration,
+                                std::span<const std::byte> data, bool copy,
+                                AsyncWriteOptions opts);
+  /// Enqueues a publish submission for a block staged via dc_alloc.
+  WriteTicket submit_publish(int client, std::uint32_t name_id,
+                             std::int64_t iteration, shm::Block block);
+  WriteTicket submit(int client, AsyncSubmission sub);
+  /// A ticket born completed (validation failures); runs `cb` inline.
+  WriteTicket failed_ticket(const Status& status, const WriteCallback& cb);
+  AsyncWorker* async_worker(int client);
+  void async_worker_main(int client, AsyncWorker& worker);
+  void execute_submission(int client, AsyncSubmission& sub);
+  /// Blocks until `client`'s submission queue is empty and idle (the
+  /// end_iteration()/finalize() fence).
+  void drain_async(int client);
+  /// Drains every worker, then joins and discards the threads (stop()
+  /// and the destructor; a later start() respawns lazily).
+  void stop_async_workers();
+
+  /// Ingest stage: reserve the block in shared memory (injected
+  /// exhaustion, degraded probe or blocking allocate).
+  des::Task<Result<shm::Block>> ingest_stage(int client,
+                                             std::int64_t iteration,
+                                             Bytes size);
+  /// Publish stage: copy the payload in and notify the dedicated core,
+  /// or route through the degrade ladder when the queue is gone.
+  des::Task<Status> publish_stage(int client, std::uint32_t name_id,
+                                  std::int64_t iteration,
+                                  std::span<const std::byte> data,
+                                  shm::Block block, WriteOutcome* outcome);
+  /// The full write path as a task chain; `outcome` reports how the
+  /// ladder resolved (published / sync / dropped / failed).
+  des::Task<Status> write_task(int client, std::uint32_t name_id,
+                               std::int64_t iteration,
+                               std::span<const std::byte> data,
+                               WriteOutcome* outcome);
+  /// Synchronous driver around write_task (one code path).
   Status client_write(int client, std::uint32_t name_id,
-                      std::int64_t iteration,
-                      std::span<const std::byte> data);
+                      std::int64_t iteration, std::span<const std::byte> data,
+                      WriteOutcome* outcome);
+  /// Publishes a block previously staged by dc_alloc (commit's half of
+  /// the path; no degrade ladder — the block is already in shm).
+  Status publish_block(int client, std::uint32_t name_id,
+                       std::int64_t iteration, shm::Block block,
+                       WriteOutcome* outcome);
   /// Fallback after `cause` blocked the normal path, applying `mode`.
   Status degraded_write(int client, std::uint32_t name_id,
                         std::int64_t iteration,
                         std::span<const std::byte> data, fault::DegradeMode mode,
-                        const Status& cause);
+                        const Status& cause, WriteOutcome* outcome);
   /// Synchronous passthrough: the client writes its own standalone DH5
   /// file, bypassing the dedicated core (paper §III "write
   /// synchronously" option).
@@ -359,6 +460,14 @@ class DamarisNode {
 
   mutable Mutex params_mutex_;
   std::map<std::string, std::string> parameters_ DMR_GUARDED_BY(params_mutex_);
+
+  /// Lazily spawned per-client submission workers; the vector's slots
+  /// are guarded, each worker synchronizes itself.
+  Mutex async_mutex_;
+  std::vector<std::unique_ptr<AsyncWorker>> async_workers_
+      DMR_GUARDED_BY(async_mutex_);
+  std::atomic<std::uint64_t> ticket_seq_{0};
+  std::atomic<std::uint64_t> ticket_completions_{0};
 
   // Last member: its destructor detaches from buffer_ and the shard
   // queues, which must still be alive.

@@ -1,5 +1,6 @@
 #include "iopath/stages.hpp"
 
+#include "sched/adaptive.hpp"
 #include "sched/slot_scheduler.hpp"
 
 namespace dmr::iopath {
@@ -28,7 +29,11 @@ des::Task<void> TransformStage::run(WriteRequest& req) {
 }
 
 des::Task<void> ScheduleStage::run(WriteRequest& req) {
-  if (slots_) {
+  if (controller_ != nullptr) {
+    // Adaptive plan: wait for the offset the controller last retuned
+    // for this writer (uniform static slots until the first retune).
+    co_await eng_->delay(controller_->offset(req.source));
+  } else if (slots_) {
     const sched::SlotScheduler scheduler(interval_, num_writers_, req.source);
     co_await eng_->delay(scheduler.slot_start());
   }

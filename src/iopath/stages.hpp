@@ -17,6 +17,10 @@
 #include "iopath/stage.hpp"
 #include "simmpi/collective_io.hpp"
 
+namespace dmr::sched {
+class AdaptiveSlotController;
+}
+
 namespace dmr::iopath {
 
 /// Ingest — one memcpy into the origin node's shared-memory segment,
@@ -78,14 +82,20 @@ class TransformStage : public Stage {
 /// downstream stage finished (released in complete()).
 class ScheduleStage : public Stage {
  public:
-  /// `tokens` may be null (no coordination). The stage does not own it.
+  /// `tokens` may be null (no coordination). With a non-null
+  /// `controller` the static per-request SlotScheduler is replaced by
+  /// the trace-fed adaptive plan (sched/adaptive.hpp): the writer waits
+  /// for the offset the controller last retuned for it. The stage owns
+  /// neither pointer.
   ScheduleStage(des::Engine& eng, SimTime interval, int num_writers,
-                bool slot_scheduling, des::Semaphore* tokens)
+                bool slot_scheduling, des::Semaphore* tokens,
+                sched::AdaptiveSlotController* controller = nullptr)
       : eng_(&eng),
         interval_(interval),
         num_writers_(num_writers),
         slots_(slot_scheduling),
-        tokens_(tokens) {}
+        tokens_(tokens),
+        controller_(controller) {}
 
   StageKind kind() const override { return StageKind::kSchedule; }
   des::Task<void> run(WriteRequest& req) override;
@@ -97,6 +107,7 @@ class ScheduleStage : public Stage {
   int num_writers_;
   bool slots_;
   des::Semaphore* tokens_;
+  sched::AdaptiveSlotController* controller_;
 };
 
 /// Storage — the parallel-file-system protocol: create a file, issue

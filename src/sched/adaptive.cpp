@@ -1,0 +1,140 @@
+#include "sched/adaptive.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace dmr::sched {
+
+AdaptiveSlotController::AdaptiveSlotController(SimTime initial_interval,
+                                              int num_writers, double alpha)
+    : num_writers_(std::max(num_writers, 1)),
+      alpha_(clamp_alpha(alpha)),
+      interval_(initial_interval, 1, 0, clamp_alpha(alpha)),
+      load_ema_(static_cast<std::size_t>(num_writers_), 0.0),
+      wrote_last_phase_(static_cast<std::size_t>(num_writers_), true),
+      active_slots_(num_writers_),
+      offsets_(static_cast<std::size_t>(num_writers_), 0.0),
+      widths_(static_cast<std::size_t>(num_writers_), 0.0) {
+  // Phase 0 plan: the static scheduler's uniform slots, so an adaptive
+  // run is indistinguishable from a static one until evidence arrives.
+  const SlotScheduler uniform(initial_interval, num_writers_, 0, alpha_);
+  for (int w = 0; w < num_writers_; ++w) {
+    widths_[static_cast<std::size_t>(w)] = uniform.slot_width();
+    offsets_[static_cast<std::size_t>(w)] =
+        uniform.slot_width() * static_cast<SimTime>(w);
+  }
+}
+
+void AdaptiveSlotController::observe(const SlotObservation& obs, SimTime now) {
+  const int w = obs.writer;
+  if (w < 0 || w >= num_writers_) return;
+  const auto idx = static_cast<std::size_t>(w);
+  PhaseBucket& bucket = pending_[obs.phase];
+  if (bucket.obs.empty()) {
+    bucket.obs.resize(static_cast<std::size_t>(num_writers_));
+    bucket.reported.assign(static_cast<std::size_t>(num_writers_), false);
+  }
+  // A duplicate report within one phase overwrites — the last word from
+  // a writer before the cohort completes is the one that counts.
+  if (!bucket.reported[idx]) {
+    bucket.reported[idx] = true;
+    ++bucket.count;
+  }
+  bucket.obs[idx] = obs;
+  if (bucket.count == num_writers_) {
+    // Writers finish a phase in order, so cohorts complete in phase
+    // order and nothing older can still be pending.
+    const PhaseBucket done = std::move(bucket);
+    pending_.erase(pending_.begin(), pending_.upper_bound(obs.phase));
+    retune(done, now);
+  }
+}
+
+void AdaptiveSlotController::retune(const PhaseBucket& bucket, SimTime now) {
+  // Interval estimate: EMA over phase-to-phase completion gaps (the
+  // same smoothing the static scheduler applies to its first-run
+  // estimate, now fed continuously).
+  if (last_phase_end_ >= 0.0) interval_.update_estimate(now - last_phase_end_);
+  last_phase_end_ = now;
+
+  // Cohort jitter this phase, via the trace layer's summary: a spread-y
+  // distribution means the point estimates are untrustworthy, so every
+  // busy writer's slot is padded by the relative spread.
+  Sample phase_writes;
+  for (const SlotObservation& obs : bucket.obs) {
+    phase_writes.add(obs.write_seconds);
+  }
+  last_summary_ = trace::JitterSummary::of(phase_writes);
+  const double margin =
+      last_summary_.mean > 0.0
+          ? std::min(last_summary_.spread / last_summary_.mean, 1.0)
+          : 0.0;
+
+  double total_budget = 0.0;
+  std::vector<double> budget(static_cast<std::size_t>(num_writers_), 0.0);
+  for (int w = 0; w < num_writers_; ++w) {
+    const auto idx = static_cast<std::size_t>(w);
+    const SlotObservation& obs = bucket.obs[idx];
+    load_ema_[idx] = load_ema_[idx] <= 0.0
+                         ? obs.write_seconds
+                         : (1.0 - alpha_) * load_ema_[idx] +
+                               alpha_ * obs.write_seconds;
+    wrote_last_phase_[idx] = obs.bytes > 0;
+    // Idle writers keep their load history but release their slot until
+    // they write again (bursty checkpoint phases).
+    if (wrote_last_phase_[idx]) {
+      budget[idx] = load_ema_[idx] * (1.0 + margin);
+      total_budget += budget[idx];
+    }
+  }
+
+  // New plan: widths proportional to the padded budgets. When the
+  // cohort's total fits inside the horizon the slots serialize with the
+  // jitter padding as slack and never overlap at the file system; when
+  // it does not, the plan is compressed to exactly the horizon — an
+  // overloaded cohort degrades to proportional sharing of the interval,
+  // never to offsets beyond it (the static scheduler's offsets are
+  // bounded by the interval too).
+  const SimTime horizon = interval_.estimated_iteration();
+  const double scale =
+      total_budget > horizon && total_budget > 0.0 ? horizon / total_budget
+                                                   : 1.0;
+  active_slots_ = 0;
+  SimTime cursor = 0.0;
+  for (int w = 0; w < num_writers_; ++w) {
+    const auto idx = static_cast<std::size_t>(w);
+    SimTime width = 0.0;
+    if (budget[idx] > 0.0 && horizon > 0.0) {
+      width = budget[idx] * scale;
+      ++active_slots_;
+    }
+    offsets_[idx] = cursor;
+    widths_[idx] = width;
+    cursor += width;
+  }
+  if (active_slots_ == 0) {
+    // Nobody wrote (or no horizon): fall back to the uniform plan so
+    // the next busy phase is not serialized behind slot 0.
+    const SlotScheduler uniform(horizon, num_writers_, 0, alpha_);
+    for (int w = 0; w < num_writers_; ++w) {
+      const auto idx = static_cast<std::size_t>(w);
+      widths_[idx] = uniform.slot_width();
+      offsets_[idx] = uniform.slot_width() * static_cast<SimTime>(w);
+    }
+    active_slots_ = num_writers_;
+  }
+  ++phases_completed_;
+}
+
+SimTime AdaptiveSlotController::offset(int writer) const {
+  const int w = ((writer % num_writers_) + num_writers_) % num_writers_;
+  return offsets_[static_cast<std::size_t>(w)];
+}
+
+SimTime AdaptiveSlotController::width(int writer) const {
+  const int w = ((writer % num_writers_) + num_writers_) % num_writers_;
+  return widths_[static_cast<std::size_t>(w)];
+}
+
+}  // namespace dmr::sched

@@ -1,0 +1,118 @@
+// Trace-fed adaptive slot scheduling (extends §IV-D's static scheme).
+//
+// The static SlotScheduler divides a *configured* iteration estimate
+// into N equal slots. That is exactly the paper's first-run scheme, and
+// it degrades under load imbalance: a writer holding 8x the average
+// payload overflows its uniform slot and queues behind its neighbours
+// at the shared file system, while the small writers' slots sit mostly
+// idle ("CMSSW Scaling Limits on Many-Core Machines" characterizes the
+// same contention shape).
+//
+// AdaptiveSlotController closes the loop. Each dedicated writer reports
+// one SlotObservation per write phase — the Schedule-stage queue wait
+// and the Storage-stage service time measured by the trace layer — and
+// once a phase's whole cohort has reported (phases are tracked
+// independently, because writers drift: a light writer can be several
+// phases ahead of a heavy one), the controller retunes:
+//
+//   - the iteration-interval estimate (EMA over measured phase-to-phase
+//     completion gaps, same smoothing as SlotScheduler::update_estimate);
+//   - per-writer slot *widths*, proportional to each writer's EMA of
+//     observed storage seconds, inflated by the cohort's jitter margin
+//     (JitterSummary spread/mean) so a noisy writer gets headroom; the
+//     whole plan is capped at the schedule horizon (an overloaded
+//     cohort degrades to proportional sharing of the interval, never to
+//     offsets beyond it);
+//   - the slot *count*: writers that wrote nothing last phase collapse
+//     to zero-width slots and stop consuming schedule horizon (bursty
+//     checkpoint phases leave the horizon to the writers that need it).
+//
+// Offsets are prefix sums of the widths in writer order, so the plan is
+// a deterministic function of the observation history — identical seeds
+// yield identical schedules.
+//
+// Thread-safety: plain value semantics like JitterReport — the
+// controller lives on one DES engine thread; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/slot_scheduler.hpp"
+#include "trace/jitter_report.hpp"
+
+namespace dmr::sched {
+
+/// One writer's measurements from one completed write phase.
+struct SlotObservation {
+  int writer = 0;
+  /// Write phase the measurements belong to. Writers of different load
+  /// finish different phases at different times; the controller retunes
+  /// per phase cohort, not per arrival order.
+  int phase = 0;
+  /// Seconds the request waited in the Schedule stage (slot delay plus
+  /// coordination-token queueing) — the trace layer's queue-wait span.
+  double schedule_wait_seconds = 0.0;
+  /// Storage-stage service seconds, including file-system queueing.
+  double write_seconds = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+class AdaptiveSlotController {
+ public:
+  /// `initial_interval` seeds the horizon exactly like the static
+  /// scheduler's configured estimate, so phase 0 (no observations yet)
+  /// reproduces the uniform static plan.
+  AdaptiveSlotController(SimTime initial_interval, int num_writers,
+                         double alpha = kDefaultAlpha);
+
+  /// Reports one writer's phase measurements at simulation time `now`.
+  /// The controller retunes automatically once every writer has
+  /// reported for the observation's phase.
+  void observe(const SlotObservation& obs, SimTime now);
+
+  /// Start of `writer`'s slot as an offset from the phase start.
+  SimTime offset(int writer) const;
+  /// Width of `writer`'s slot in the current plan.
+  SimTime width(int writer) const;
+
+  int num_writers() const { return num_writers_; }
+  double alpha() const { return alpha_; }
+  /// Completed retunes (phases for which the whole cohort reported).
+  int phases_completed() const { return phases_completed_; }
+  /// Number of non-empty slots in the current plan.
+  int active_slots() const { return active_slots_; }
+  /// Interval estimate feeding the schedule horizon.
+  SimTime estimated_interval() const { return interval_.estimated_iteration(); }
+  /// Distribution of the cohort's write seconds at the last retune.
+  const trace::JitterSummary& last_summary() const { return last_summary_; }
+
+ private:
+  /// In-flight observations of one write phase, by writer.
+  struct PhaseBucket {
+    std::vector<SlotObservation> obs;
+    std::vector<bool> reported;
+    int count = 0;
+  };
+
+  void retune(const PhaseBucket& bucket, SimTime now);
+
+  int num_writers_;
+  double alpha_;
+  SlotScheduler interval_;  // slot 0 of 1: reused purely as interval EMA
+  std::vector<double> load_ema_;       // per-writer EMA of write seconds
+  std::vector<bool> wrote_last_phase_;  // writer produced bytes last phase
+  /// Incomplete phase cohorts. Bounded by how far writers drift apart
+  /// (at most the run's phase count); completed buckets are erased.
+  std::map<int, PhaseBucket> pending_;
+  SimTime last_phase_end_ = -1.0;
+  int phases_completed_ = 0;
+  int active_slots_;
+  std::vector<SimTime> offsets_;
+  std::vector<SimTime> widths_;
+  trace::JitterSummary last_summary_;
+};
+
+}  // namespace dmr::sched

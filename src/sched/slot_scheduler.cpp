@@ -4,11 +4,17 @@
 
 namespace dmr::sched {
 
+double clamp_alpha(double alpha) {
+  if (!(alpha > 0.0)) return kDefaultAlpha;  // rejects NaN too
+  return std::min(alpha, 1.0);
+}
+
 SlotScheduler::SlotScheduler(SimTime estimated_iteration, int num_slots,
-                             int writer_id)
+                             int writer_id, double alpha)
     : estimate_(std::max(estimated_iteration, 0.0)),
       num_slots_(std::max(num_slots, 1)),
-      slot_id_(((writer_id % num_slots_) + num_slots_) % num_slots_) {}
+      slot_id_(((writer_id % num_slots_) + num_slots_) % num_slots_),
+      alpha_(clamp_alpha(alpha)) {}
 
 SimTime SlotScheduler::slot_width() const {
   return estimate_ / static_cast<SimTime>(num_slots_);
@@ -24,11 +30,10 @@ SimTime SlotScheduler::wait_time(SimTime elapsed) const {
 }
 
 void SlotScheduler::update_estimate(SimTime measured) {
-  constexpr double kAlpha = 0.3;
   if (measured <= 0) return;
   estimate_ = estimate_ <= 0
                   ? measured
-                  : (1.0 - kAlpha) * estimate_ + kAlpha * measured;
+                  : (1.0 - alpha_) * estimate_ + alpha_ * measured;
 }
 
 }  // namespace dmr::sched

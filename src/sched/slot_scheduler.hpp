@@ -25,11 +25,18 @@
 
 namespace dmr::sched {
 
+/// Default smoothing factor for the iteration-estimate EMA. Overridable
+/// per scheduler (and from XML via `<scheduling alpha="...">`).
+inline constexpr double kDefaultAlpha = 0.3;
+
 class SlotScheduler {
  public:
   /// `estimated_iteration` is the expected time between two write
   /// phases (seconds). `writer_id` may exceed `num_slots` (it wraps).
-  SlotScheduler(SimTime estimated_iteration, int num_slots, int writer_id);
+  /// `alpha` is the EMA smoothing factor used by update_estimate();
+  /// values outside (0, 1] are clamped into that range.
+  SlotScheduler(SimTime estimated_iteration, int num_slots, int writer_id,
+                double alpha = kDefaultAlpha);
 
   /// Start of this writer's slot, as an offset from the beginning of
   /// the iteration (in [0, estimated_iteration)).
@@ -44,20 +51,27 @@ class SlotScheduler {
   SimTime wait_time(SimTime elapsed_since_iteration_start) const;
 
   /// Refines the iteration estimate from a measured duration
-  /// (exponential moving average, alpha = 0.3). Non-positive
-  /// measurements are ignored; the first positive measurement replaces
-  /// a non-positive initial estimate outright.
+  /// (exponential moving average with the configured alpha).
+  /// Non-positive measurements are ignored; the first positive
+  /// measurement replaces a non-positive initial estimate outright.
   void update_estimate(SimTime measured_iteration);
 
   SimTime estimated_iteration() const { return estimate_; }
   int num_slots() const { return num_slots_; }
   /// The slot this writer lands in after wrapping.
   int slot_id() const { return slot_id_; }
+  /// EMA smoothing factor after clamping into (0, 1].
+  double alpha() const { return alpha_; }
 
  private:
   SimTime estimate_;
   int num_slots_;
   int slot_id_;
+  double alpha_;
 };
+
+/// Clamps an EMA smoothing factor into the valid (0, 1] range; NaN and
+/// non-positive values fall back to kDefaultAlpha.
+double clamp_alpha(double alpha);
 
 }  // namespace dmr::sched

@@ -13,6 +13,7 @@
 #include "des/task.hpp"
 #include "iopath/pipeline.hpp"
 #include "iopath/stages.hpp"
+#include "sched/adaptive.hpp"
 #include "simmpi/world.hpp"
 
 namespace dmr::strategies {
@@ -92,6 +93,11 @@ class Experiment {
         write_tokens_ = std::make_unique<des::Semaphore>(
             eng_, std::max(1, cfg_.damaris.coordination_tokens));
       }
+      if (cfg_.damaris.adaptive_scheduling) {
+        slot_controller_ = std::make_unique<sched::AdaptiveSlotController>(
+            interval_seconds_ > 0 ? interval_seconds_ : 1.0, num_writers(),
+            cfg_.damaris.slot_alpha);
+      }
     }
     if (cfg_.injector != nullptr) {
       machine_.set_fault_injector(cfg_.injector);
@@ -164,7 +170,8 @@ class Experiment {
                 eng_, d.compression_model()))
             .add(std::make_unique<iopath::ScheduleStage>(
                 eng_, interval_seconds_ > 0 ? interval_seconds_ : 1.0,
-                num_writers(), d.slot_scheduling, write_tokens_.get()))
+                num_writers(), d.slot_scheduling, write_tokens_.get(),
+                slot_controller_.get()))
             .add(std::make_unique<iopath::StorageStage>(
                 fs_, d.file_stripe_count, d.write_request,
                 cfg_.storage_retry, cfg_.seed));
@@ -239,7 +246,12 @@ class Experiment {
     res.rank_write_seconds = rank_write_;
     res.phase_seconds = phase_seconds_;
     res.dedicated_write_seconds = dedicated_write_;
-    res.bytes_per_phase = bytes_per_rank_ * world_.size();
+    // Uniform workloads keep the closed-form volume (golden-pinned);
+    // imbalanced ones report the mean of what the ranks actually emitted.
+    res.bytes_per_phase =
+        cfg_.workload.imbalance > 0.0 && num_phases_ > 0
+            ? client_bytes_total_ / static_cast<Bytes>(num_phases_)
+            : bytes_per_rank_ * world_.size();
     res.stored_bytes_per_phase =
         num_phases_ > 0 && is_damaris_ ? stored_bytes_total_ / num_phases_
                                        : res.bytes_per_phase;
@@ -271,6 +283,10 @@ class Experiment {
     res.failed_writes = failed_writes_;
     res.storage_retries = storage_retries_;
     res.first_error = first_error_;
+    if (slot_controller_) {
+      res.schedule_retunes = slot_controller_->phases_completed();
+      res.active_slots = slot_controller_->active_slots();
+    }
     return res;
   }
 
@@ -290,13 +306,13 @@ class Experiment {
 
   // ------------------------------------------------------ compute ranks
 
-  iopath::WriteRequest client_request(int rank, int phase,
+  iopath::WriteRequest client_request(int rank, int phase, Bytes payload,
                                       cluster::Node& node) {
     iopath::WriteRequest req;
     req.source = rank;
     req.core = world_.core_of(rank);
     req.phase = phase;
-    req.raw_bytes = bytes_per_rank_;
+    req.raw_bytes = payload;
     req.node = &node;
     if (transport_ == Transport::kDedicatedNodes) {
       req.staging = &machine_.node(writer_node(writer_of_rank(rank)));
@@ -318,13 +334,18 @@ class Experiment {
       if (!is_write_iteration(it)) continue;
 
       const SimTime phase_start = eng_.now();
-      iopath::WriteRequest req = client_request(rank, phase_index, node);
+      // Uniform workloads (imbalance == 0) get bytes_per_rank_ exactly;
+      // AMR-style ones a seeded per-(rank, phase) payload.
+      const Bytes payload =
+          cfg_.workload.bytes_for_rank(rank, phase_index, cfg_.seed);
+      client_bytes_total_ += payload;
+      iopath::WriteRequest req =
+          client_request(rank, phase_index, payload, node);
       co_await client_pipeline_.process(req);
       note_outcome(req);
       if (is_damaris_) {
         // The handoff is staged; notify this rank's writer and continue.
-        channels_[writer_of_rank(rank)]->send(
-            PhaseMsg{phase_index, bytes_per_rank_});
+        channels_[writer_of_rank(rank)]->send(PhaseMsg{phase_index, payload});
       }
       rank_write_.add(eng_.now() - phase_start);
       if (cfg_.kind == StrategyKind::kFilePerProcess) {
@@ -360,6 +381,12 @@ class Experiment {
       dedicated_write_.add(wdur);
       dedicated_busy_total_ += req.seconds(StageKind::kTransform) + wdur;
       stored_bytes_total_ += req.bytes;
+      if (slot_controller_) {
+        slot_controller_->observe({writer, phase,
+                                   req.seconds(StageKind::kSchedule), wdur,
+                                   req.bytes},
+                                  eng_.now());
+      }
     }
   }
 
@@ -380,6 +407,7 @@ class Experiment {
   std::unique_ptr<simmpi::CollectiveWriter> collective_;
   std::vector<std::unique_ptr<des::Channel<PhaseMsg>>> channels_;
   std::unique_ptr<des::Semaphore> write_tokens_;
+  std::unique_ptr<sched::AdaptiveSlotController> slot_controller_;
 
   /// What every compute rank runs in a write phase.
   iopath::WritePipeline client_pipeline_;
@@ -392,6 +420,7 @@ class Experiment {
   std::vector<SimTime> rank_finish_;
   double dedicated_busy_total_ = 0.0;
   Bytes stored_bytes_total_ = 0;
+  Bytes client_bytes_total_ = 0;
   std::uint64_t failed_writes_ = 0;
   std::uint64_t storage_retries_ = 0;
   Status first_error_ = Status::ok();

@@ -30,6 +30,7 @@
 #include "fs/sim_fs.hpp"
 #include "iopath/compression_model.hpp"
 #include "iopath/metrics.hpp"
+#include "sched/slot_scheduler.hpp"
 #include "simmpi/collective_io.hpp"
 #include "trace/tracer.hpp"
 
@@ -100,6 +101,20 @@ struct DamarisOptions {
 
   /// §IV-D slot scheduling of dedicated-core writes.
   bool slot_scheduling = false;
+
+  /// Trace-fed adaptive slot scheduling (sched/adaptive.hpp): replaces
+  /// the static per-request SlotScheduler with an online controller
+  /// that retunes slot count/offsets/widths every write phase from the
+  /// observed Schedule-stage waits and Storage-stage service times.
+  /// Uniform static slots until the first full phase of observations,
+  /// so a balanced workload matches slot_scheduling within noise while
+  /// an imbalanced one recovers the throughput static slots lose.
+  /// Implies slot-style scheduling (slot_scheduling need not be set).
+  bool adaptive_scheduling = false;
+  /// EMA smoothing factor for the controller's load and interval
+  /// estimates (the `<scheduling alpha="...">` config key; clamped into
+  /// (0, 1]).
+  double slot_alpha = sched::kDefaultAlpha;
 
   /// §VI future-work extension: *coordinated* distributed I/O scheduling.
   /// Instead of communication-free local slots, the dedicated cores pass
@@ -211,6 +226,12 @@ struct RunResult {
   std::uint64_t failed_writes = 0;
   std::uint64_t storage_retries = 0;
   Status first_error = Status::ok();
+
+  /// Adaptive scheduling (DamarisOptions::adaptive_scheduling):
+  /// completed controller retunes and the active slot count of the
+  /// final plan (0 / 0 when the controller was not enabled).
+  int schedule_retunes = 0;
+  int active_slots = 0;
 };
 
 /// Runs one simulated experiment.

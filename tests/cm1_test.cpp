@@ -146,5 +146,79 @@ TEST(Workload, BlueprintDataSweep) {
               7.0, 1e-9);
 }
 
+// ------------------------------------------------- AMR-style imbalance
+
+TEST(Workload, ZeroImbalanceIsExactlyUniform) {
+  // The golden-pinned path: with imbalance unset, bytes_for_rank must
+  // return output_bytes_per_rank() bit-for-bit for every (rank, phase).
+  const WorkloadModel w = kraken_workload(true);
+  for (int rank = 0; rank < 8; ++rank) {
+    for (int phase = 0; phase < 4; ++phase) {
+      EXPECT_EQ(w.bytes_for_rank(rank, phase, 2012), w.output_bytes_per_rank());
+    }
+  }
+}
+
+TEST(Workload, ImbalancedBytesAreDeterministic) {
+  const WorkloadModel w = amr_workload(true, 1.0);
+  for (int rank = 0; rank < 16; ++rank) {
+    for (int phase = 0; phase < 4; ++phase) {
+      EXPECT_EQ(w.bytes_for_rank(rank, phase, 42),
+                w.bytes_for_rank(rank, phase, 42));
+    }
+  }
+  // Different seeds give different draws (with overwhelming probability
+  // over 16 ranks).
+  bool any_diff = false;
+  for (int rank = 0; rank < 16; ++rank) {
+    any_diff |= w.bytes_for_rank(rank, 0, 42) != w.bytes_for_rank(rank, 0, 43);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, ImbalanceIsPersistentAcrossPhases) {
+  // The per-rank factor dominates the per-phase drift: a rank heavy in
+  // phase 0 stays heavy in later phases (that persistence is what the
+  // adaptive scheduler learns). Compare the heaviest and lightest of 32
+  // ranks: their ordering must hold across phases.
+  const WorkloadModel w = amr_workload(true, 1.5);
+  int heavy = 0;
+  int light = 0;
+  for (int rank = 1; rank < 32; ++rank) {
+    if (w.bytes_for_rank(rank, 0, 7) > w.bytes_for_rank(heavy, 0, 7)) {
+      heavy = rank;
+    }
+    if (w.bytes_for_rank(rank, 0, 7) < w.bytes_for_rank(light, 0, 7)) {
+      light = rank;
+    }
+  }
+  for (int phase = 1; phase < 8; ++phase) {
+    EXPECT_GT(w.bytes_for_rank(heavy, phase, 7),
+              w.bytes_for_rank(light, phase, 7))
+        << "phase " << phase;
+  }
+}
+
+TEST(Workload, ImbalanceHasApproximatelyUnitMean) {
+  // mu = -sigma^2/2 makes each lognormal factor mean-1, so the expected
+  // aggregate volume matches the uniform workload. With sigma = 1 the
+  // sample mean over 4096 draws should land within ~15% of 1.
+  const WorkloadModel w = amr_workload(true, 1.0);
+  const double base = static_cast<double>(w.output_bytes_per_rank());
+  double sum = 0.0;
+  const int n = 4096;
+  for (int rank = 0; rank < n; ++rank) {
+    sum += static_cast<double>(w.bytes_for_rank(rank, 0, 2012)) / base;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.15);
+}
+
+TEST(Workload, ImbalancedRankAlwaysEmitsSomething) {
+  const WorkloadModel w = amr_workload(true, 3.0);
+  for (int rank = 0; rank < 64; ++rank) {
+    EXPECT_GE(w.bytes_for_rank(rank, 0, 1), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace dmr::cm1

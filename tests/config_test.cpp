@@ -317,5 +317,54 @@ TEST(Config, RejectsMalformedResilience) {
                    .is_ok());
 }
 
+TEST(Config, ParsesScheduling) {
+  auto r = Config::from_string(R"(
+    <damaris><scheduling alpha="0.5" adaptive="true"/></damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_DOUBLE_EQ(r.value().scheduling().alpha, 0.5);
+  EXPECT_TRUE(r.value().scheduling().adaptive);
+}
+
+TEST(Config, SchedulingDefaults) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().scheduling().alpha, sched::kDefaultAlpha);
+  EXPECT_FALSE(r.value().scheduling().adaptive);
+  // An empty <scheduling/> keeps the defaults too.
+  auto empty = Config::from_string("<damaris><scheduling/></damaris>");
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_DOUBLE_EQ(empty.value().scheduling().alpha, sched::kDefaultAlpha);
+  EXPECT_FALSE(empty.value().scheduling().adaptive);
+}
+
+TEST(Config, SchedulingAlphaBoundaryOneIsValid) {
+  auto r = Config::from_string(R"(
+    <damaris><scheduling alpha="1.0"/></damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_DOUBLE_EQ(r.value().scheduling().alpha, 1.0);
+}
+
+TEST(Config, RejectsMalformedScheduling) {
+  // Out-of-range alphas are a config mistake, not something to clamp.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling alpha="0"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling alpha="-0.3"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling alpha="1.5"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling alpha="nan"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling alpha="abc"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><scheduling adaptive="maybe"/></damaris>)")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace dmr::config

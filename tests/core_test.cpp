@@ -346,6 +346,42 @@ TEST(CApi, ErrorsWithoutSetup) {
   EXPECT_NE(capi::df_finalize(), 0);
   EXPECT_NE(capi::df_teardown(), 0);
   EXPECT_EQ(capi::dc_alloc("x", 0), nullptr);
+  EXPECT_LT(capi::df_write_async("x", 0, nullptr), 0);
+  EXPECT_NE(capi::df_wait(1), 0);
+}
+
+TEST(CApi, AsyncTickets) {
+  namespace capi = ::dmr::core::capi;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("damaris_capi_async_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto cfg_path = dir / "config.xml";
+  {
+    std::ofstream out(cfg_path);
+    out << kConfigXml;
+  }
+  ASSERT_EQ(capi::df_setup(cfg_path.c_str(), 1, dir.c_str()), 0)
+      << capi::df_last_error();
+  ASSERT_EQ(capi::df_initialize(0), 0);
+
+  std::vector<float> data(16 * 16 * 4, 2.5f);
+  const std::int64_t t1 = capi::df_write_async("temperature", 0, data.data());
+  ASSERT_GT(t1, 0) << capi::df_last_error();
+  const std::int64_t t2 = capi::df_write_async("temperature", 0, data.data());
+  ASSERT_GT(t2, 0);
+  EXPECT_NE(t1, t2);
+  EXPECT_GE(capi::df_test(t1), 0);  // known handle: 0 or 1, not an error
+  EXPECT_EQ(capi::df_wait(t1), 0) << capi::df_last_error();
+  EXPECT_LT(capi::df_test(t1), 0);  // df_wait consumed the handle
+  EXPECT_EQ(capi::df_wait_all(), 0);
+  EXPECT_LT(capi::df_test(99999), 0);  // never issued
+  // An unknown variable fails at submission: no ticket is issued.
+  EXPECT_LT(capi::df_write_async("ghost", 0, data.data()), 0);
+
+  EXPECT_EQ(capi::df_end_iteration(0), 0);
+  EXPECT_EQ(capi::df_finalize(), 0);
+  EXPECT_EQ(capi::df_teardown(), 0);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

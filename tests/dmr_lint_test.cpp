@@ -6,6 +6,8 @@
 // scripts/check.sh --static consumes.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,8 +32,11 @@ struct LintRun {
 };
 
 LintRun run_lint(const std::string& args) {
-  const std::string out_path =
-      ::testing::TempDir() + "/dmr_lint_out.txt";
+  // Per-process output file: ctest runs each TEST as its own process,
+  // concurrently — a shared fixed name makes parallel runs clobber
+  // each other's captured output (a long-standing intermittent flake).
+  const std::string out_path = ::testing::TempDir() + "/dmr_lint_out_" +
+                               std::to_string(::getpid()) + ".txt";
   const std::string cmd = std::string(DMR_LINT_BIN) + " " + args + " > " +
                           out_path + " 2>&1";
   const int rc = std::system(cmd.c_str());

@@ -185,5 +185,31 @@ TEST(Strategies, ThroughputOrdering) {
   EXPECT_GT(fpp.aggregate_throughput, coll.aggregate_throughput);
 }
 
+TEST(Strategies, AdaptiveSchedulingRetunesAndStaysDeterministic) {
+  // Opt-in adaptive scheduling on an imbalanced workload: the
+  // controller must complete retunes, keep every slot active (all
+  // writers write every phase), and two identical-seed runs must agree
+  // bit-for-bit on throughput and runtime.
+  auto mk = [] {
+    RunConfig cfg = small(StrategyKind::kDamaris, 4);
+    cfg.workload.imbalance = 1.0;
+    cfg.damaris.adaptive_scheduling = true;
+    return cfg;
+  };
+  auto a = run_strategy(mk());
+  auto b = run_strategy(mk());
+  EXPECT_GT(a.schedule_retunes, 0);
+  EXPECT_GT(a.active_slots, 0);
+  EXPECT_EQ(a.schedule_retunes, b.schedule_retunes);
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput, b.aggregate_throughput);
+  EXPECT_DOUBLE_EQ(a.total_runtime, b.total_runtime);
+}
+
+TEST(Strategies, StaticRunReportsNoRetunes) {
+  auto res = run_strategy(small(StrategyKind::kDamaris));
+  EXPECT_EQ(res.schedule_retunes, 0);
+  EXPECT_EQ(res.active_slots, 0);
+}
+
 }  // namespace
 }  // namespace dmr::strategies
