@@ -7,6 +7,7 @@
 #   scripts/check.sh --model    # ... plus the shm-protocol model checker
 #   scripts/check.sh --chaos    # ... plus the fixed-seed fault matrix
 #   scripts/check.sh --sched    # ... plus the adaptive-scheduler gate
+#   scripts/check.sh --plugins  # ... plus the in-situ analytics gate
 #   scripts/check.sh --static   # ... plus the static gates: dmr_lint +
 #                               #     -Wthread-safety build (Clang only)
 #
@@ -25,6 +26,7 @@ RUN_UBSAN=1
 RUN_MODEL=0
 RUN_CHAOS=0
 RUN_SCHED=0
+RUN_PLUGINS=0
 RUN_STATIC=0
 for arg in "$@"; do
   case "$arg" in
@@ -33,6 +35,7 @@ for arg in "$@"; do
     --model) RUN_MODEL=1 ;;
     --chaos) RUN_CHAOS=1 ;;
     --sched) RUN_SCHED=1 ;;
+    --plugins) RUN_PLUGINS=1 ;;
     --static) RUN_STATIC=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -70,6 +73,46 @@ find_tool() {
   done
   return 1
 }
+
+# ------------------------------------------------------------ doc lint
+# Markdown hygiene over the top-level docs (always runs, pure shell):
+#  (1) dead relative links: every [text](path) pointing into the repo
+#      must resolve to an existing file or directory;
+#  (2) config-key drift: every XML element/attribute shown in a ```xml
+#      fence of README.md / EXPERIMENTS.md must appear in DESIGN.md —
+#      the same source of truth dmr_lint holds src/config against.
+step "doc lint (relative links + fenced config keys vs DESIGN.md)"
+DOC_LINT_RC=0
+for f in *.md; do
+  while IFS= read -r target; do
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$target" ]; then
+      echo "doc-lint: $f: dead relative link -> $target" >&2
+      DOC_LINT_RC=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+done
+for f in README.md EXPERIMENTS.md; do
+  [ -f "$f" ] || continue
+  while IFS= read -r key; do
+    [ -z "$key" ] && continue
+    if ! grep -q "$key" DESIGN.md; then
+      echo "doc-lint: $f: config key '$key' from an xml fence is not documented in DESIGN.md" >&2
+      DOC_LINT_RC=1
+    fi
+  done < <(awk '/^```xml/{on=1;next} /^```/{on=0} on' "$f" |
+    grep -o '<[a-z_][a-z0-9_]*\|[a-z_][a-z0-9_]*=' |
+    sed 's/^<//; s/=$//' | sort -u)
+done
+if [ "$DOC_LINT_RC" != 0 ]; then
+  echo "doc lint failed" >&2
+  exit 1
+fi
+echo "doc lint clean"
 
 # ---------------------------------------------------------------- lint
 step "lint (clang-tidy)"
@@ -145,6 +188,19 @@ if [ "$RUN_SCHED" = 1 ]; then
   cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-mc -j "$JOBS" --target bench_sched
   ./build-mc/bench/bench_sched build-mc/BENCH_sched.json --check
+fi
+
+# --------------------------------------------- in-situ analytics gate
+# Plugin chain + live monitor (bench_plugin --check): the builtin chain
+# must fit the dedicated cores' measured idle budget (Fig 5), produce
+# identical analytics across identical runs, and a live MonitorClient
+# must observe jitter percentiles, degrade state and ledger counters
+# from the running workload. Optimized tree, ~60s budget.
+if [ "$RUN_PLUGINS" = 1 ]; then
+  step "plugins (bench_plugin --check, build-mc)"
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-mc -j "$JOBS" --target bench_plugin
+  ./build-mc/bench/bench_plugin build-mc/BENCH_plugin.json --check
 fi
 
 # ------------------------------------------------------- static gates

@@ -11,6 +11,7 @@
 #   scripts/ci.sh --no-model    # skip the shm-protocol model-checking stage
 #   scripts/ci.sh --no-chaos    # skip the fixed-seed fault-injection matrix
 #   scripts/ci.sh --no-sched    # skip the adaptive-scheduler gate (bench_sched)
+#   scripts/ci.sh --no-plugins  # skip the in-situ analytics gate (bench_plugin)
 #   scripts/ci.sh --no-static   # skip the static gates (dmr_lint + -Wthread-safety)
 #
 # Extra flags are passed through to scripts/check.sh. Exits non-zero on
@@ -24,6 +25,7 @@ RUN_DOCS=1
 RUN_MODEL=1
 RUN_CHAOS=1
 RUN_SCHED=1
+RUN_PLUGINS=1
 RUN_STATIC=1
 CHECK_ARGS=()
 for arg in "$@"; do
@@ -33,8 +35,9 @@ for arg in "$@"; do
     --no-model) RUN_MODEL=0 ;;
     --no-chaos) RUN_CHAOS=0 ;;
     --no-sched) RUN_SCHED=0 ;;
+    --no-plugins) RUN_PLUGINS=0 ;;
     --no-static) RUN_STATIC=0 ;;
-    --fast) RUN_MODEL=0; RUN_CHAOS=0; RUN_SCHED=0; CHECK_ARGS+=("$arg") ;;
+    --fast) RUN_MODEL=0; RUN_CHAOS=0; RUN_SCHED=0; RUN_PLUGINS=0; CHECK_ARGS+=("$arg") ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
 done
@@ -46,6 +49,9 @@ if [ "$RUN_CHAOS" = 1 ]; then
 fi
 if [ "$RUN_SCHED" = 1 ]; then
   CHECK_ARGS+=("--sched")
+fi
+if [ "$RUN_PLUGINS" = 1 ]; then
+  CHECK_ARGS+=("--plugins")
 fi
 if [ "$RUN_STATIC" = 1 ]; then
   CHECK_ARGS+=("--static")

@@ -59,6 +59,23 @@ void FaultChecker::note_retry() {
   ++retries_;
 }
 
+FaultChecker::Counters FaultChecker::snapshot() const {
+  MutexLock lock(mutex_);
+  Counters c;
+  c.sync_written = sync_written_;
+  c.dropped = dropped_;
+  c.failed_writes = failed_writes_;
+  c.retries = retries_;
+  for (const auto& [it, l] : ledger_) {
+    (void)it;
+    c.published += l.published;
+    c.persisted += l.persisted;
+    c.superseded += l.superseded;
+    c.failed_persists += l.failed_persist;
+  }
+  return c;
+}
+
 FaultChecker::Report FaultChecker::finalize() const {
   MutexLock lock(mutex_);
   Report rep;

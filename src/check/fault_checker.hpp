@@ -102,6 +102,23 @@ class FaultChecker {
   /// Call once, after the workload quiesced (node finalized).
   Report finalize() const;
 
+  /// Live counter totals for the monitor (DESIGN.md §15): the same sums
+  /// finalize() reports, *without* the ledger/leak verdicts — those are
+  /// only meaningful after the workload quiesced, while a snapshot is
+  /// taken mid-run (published blocks may simply not have persisted
+  /// yet). Thread-safe; call any time.
+  struct Counters {
+    std::uint64_t published = 0;
+    std::uint64_t persisted = 0;
+    std::uint64_t superseded = 0;
+    std::uint64_t failed_persists = 0;
+    std::uint64_t sync_written = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t failed_writes = 0;
+    std::uint64_t retries = 0;
+  };
+  Counters snapshot() const;
+
  private:
   struct Ledger {
     std::uint64_t published = 0;

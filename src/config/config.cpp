@@ -341,12 +341,129 @@ Result<Config> Config::from_xml(const XmlNode& root) {
     }
   }
 
+  // <plugins budget_ms="5" on_error="disable">
+  //   <plugin name="moments" type="statistics" variables="temperature"/>
+  // </plugins> — the in-situ chain run by the dedicated core between
+  // publish and persist (DESIGN.md §15). Malformed declarations are
+  // rejected here so the node never starts with a half-valid chain.
+  if (const XmlNode* plugins = root.child("plugins")) {
+    PluginsConfig& pc = cfg.plugins_;
+    Status s = Status::ok();
+    if (const std::string* a = plugins->attr("budget_ms")) {
+      s = parse_double(*a, "plugins budget_ms", pc.budget_ms);
+      if (!s.is_ok()) return s;
+      if (pc.budget_ms < 0.0) {
+        return invalid_argument("plugins budget_ms must be >= 0");
+      }
+    }
+    pc.on_error = plugins->attr_or("on_error", "warn");
+    if (pc.on_error != "warn" && pc.on_error != "disable") {
+      return invalid_argument("plugins on_error must be warn|disable, got '" +
+                              pc.on_error + "'");
+    }
+    pc.on_overrun = plugins->attr_or("on_overrun", "warn");
+    if (pc.on_overrun != "warn" && pc.on_overrun != "disable") {
+      return invalid_argument(
+          "plugins on_overrun must be warn|disable, got '" + pc.on_overrun +
+          "'");
+    }
+    for (const XmlNode* n : plugins->children_named("plugin")) {
+      PluginDecl decl;
+      const std::string* name = n->attr("name");
+      if (!name || name->empty()) {
+        return invalid_argument("<plugin> without name");
+      }
+      decl.name = *name;
+      decl.type = n->attr_or("type", "");
+      if (decl.type.empty()) {
+        return invalid_argument("plugin '" + decl.name + "' needs a type");
+      }
+      const std::string vars = n->attr_or("variables", "");
+      if (!vars.empty() && vars.back() == ',') {
+        return invalid_argument("plugin '" + decl.name +
+                                "': empty variable in '" + vars + "'");
+      }
+      std::size_t pos = 0;
+      while (pos < vars.size()) {
+        std::size_t end = vars.find(',', pos);
+        if (end == std::string::npos) end = vars.size();
+        const std::string token = vars.substr(pos, end - pos);
+        if (token.empty()) {
+          return invalid_argument("plugin '" + decl.name +
+                                  "': empty variable in '" + vars + "'");
+        }
+        decl.variables.push_back(token);
+        pos = end + 1;
+      }
+      if (const std::string* a = n->attr("stride")) {
+        s = parse_int(*a, "plugin stride", decl.stride);
+        if (!s.is_ok()) return s;
+        if (decl.stride < 1) {
+          return invalid_argument("plugin '" + decl.name +
+                                  "': stride must be >= 1");
+        }
+      }
+      for (const PluginDecl& other : pc.plugins) {
+        if (other.name == decl.name) {
+          return invalid_argument("duplicate plugin '" + decl.name + "'");
+        }
+      }
+      pc.plugins.push_back(std::move(decl));
+    }
+  }
+
+  // <monitor enabled="true" socket="/tmp/dmr.sock" interval_ms="100"
+  //  slo_p95_ms="50" slo_max_ms="200"/> — the live observability
+  // endpoint (DESIGN.md §15).
+  if (const XmlNode* mon = root.child("monitor")) {
+    MonitorConfig& mc = cfg.monitor_;
+    Status s = Status::ok();
+    if (const std::string* a = mon->attr("enabled")) {
+      s = parse_bool(*a, "monitor enabled", mc.enabled);
+      if (!s.is_ok()) return s;
+    }
+    mc.socket = mon->attr_or("socket", "");
+    if (const std::string* a = mon->attr("interval_ms")) {
+      s = parse_int(*a, "monitor interval_ms", mc.interval_ms);
+      if (!s.is_ok()) return s;
+      if (mc.interval_ms < 1) {
+        return invalid_argument("monitor interval_ms must be >= 1");
+      }
+    }
+    if (const std::string* a = mon->attr("slo_p95_ms")) {
+      s = parse_double(*a, "monitor slo_p95_ms", mc.slo_p95_ms);
+      if (!s.is_ok()) return s;
+      if (mc.slo_p95_ms < 0.0) {
+        return invalid_argument("monitor slo_p95_ms must be >= 0");
+      }
+    }
+    if (const std::string* a = mon->attr("slo_max_ms")) {
+      s = parse_double(*a, "monitor slo_max_ms", mc.slo_max_ms);
+      if (!s.is_ok()) return s;
+      if (mc.slo_max_ms < 0.0) {
+        return invalid_argument("monitor slo_max_ms must be >= 0");
+      }
+    }
+    if (mc.enabled && mc.socket.empty()) {
+      return invalid_argument("monitor enabled but no socket path given");
+    }
+  }
+
   // Cross-reference validation: every variable's layout must exist.
   for (const auto& [vname, var] : cfg.variables_) {
     if (!cfg.find_layout(var.layout_name)) {
       return invalid_argument("variable '" + vname +
                               "' references unknown layout '" +
                               var.layout_name + "'");
+    }
+  }
+  // ... and every plugin variable filter must name a declared variable.
+  for (const PluginDecl& p : cfg.plugins_.plugins) {
+    for (const std::string& v : p.variables) {
+      if (!cfg.find_variable(v)) {
+        return invalid_argument("plugin '" + p.name +
+                                "' references unknown variable '" + v + "'");
+      }
     }
   }
   return cfg;

@@ -77,6 +77,45 @@ struct SchedulingConfig {
   bool adaptive = false;
 };
 
+/// One in-situ plugin instance from the <plugins> section (paper §III-C:
+/// analytics running on the dedicated core's spare time). `type` names a
+/// factory in plugin::PluginRegistry ("statistics", "minmax_index",
+/// "downsample" builtin, or a caller-registered custom type).
+struct PluginDecl {
+  std::string name;                    // unique instance name
+  std::string type;                    // registry factory key
+  std::vector<std::string> variables;  // filter; empty = every variable
+  int stride = 4;                      // downsampler decimation factor
+};
+
+/// The <plugins> section: the in-situ pipeline run by the dedicated core
+/// between publish and persist. `budget_ms` is the per-iteration
+/// wall-clock budget for the whole chain (0 = unlimited — the Fig 5
+/// idle-time claim is enforced by bench_plugin, not per-run); plugins
+/// that cross it are counted as overruns. `on_error` / `on_overrun`
+/// select what happens to the offending plugin: "warn" keeps it
+/// running, "disable" drops it from the chain for the rest of the run.
+struct PluginsConfig {
+  double budget_ms = 0.0;
+  std::string on_error = "warn";
+  std::string on_overrun = "warn";
+  std::vector<PluginDecl> plugins;
+
+  bool empty() const { return plugins.empty(); }
+};
+
+/// The <monitor> section: the live observability endpoint
+/// (monitor::MonitorServer) streaming snapshots over a local socket.
+/// SLO thresholds are in milliseconds over the per-iteration persist
+/// wall time; 0 disables the corresponding alert.
+struct MonitorConfig {
+  bool enabled = false;
+  std::string socket;    // AF_UNIX socket path (required when enabled)
+  int interval_ms = 100; // default subscribe streaming interval
+  double slo_p95_ms = 0.0;
+  double slo_max_ms = 0.0;
+};
+
 /// Parsed, validated configuration.
 class Config {
  public:
@@ -120,6 +159,15 @@ class Config {
   /// (alpha 0.3, static slots) when absent.
   const SchedulingConfig& scheduling() const { return scheduling_; }
 
+  /// In-situ plugin chain from the <plugins> section; empty() when the
+  /// configuration declares none (the node takes the exact plugin-less
+  /// iteration path).
+  const PluginsConfig& plugins() const { return plugins_; }
+
+  /// Live-monitoring endpoint from the <monitor> section; disabled by
+  /// default.
+  const MonitorConfig& monitor() const { return monitor_; }
+
  private:
   static Result<Config> from_xml(const XmlNode& root);
 
@@ -133,6 +181,8 @@ class Config {
   fault::FaultPlan fault_plan_;
   fault::ResilienceConfig resilience_;
   SchedulingConfig scheduling_;
+  PluginsConfig plugins_;
+  MonitorConfig monitor_;
 };
 
 }  // namespace dmr::config

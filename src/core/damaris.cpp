@@ -133,6 +133,17 @@ std::uint32_t DamarisNode::name_id(const std::string& name) const {
 
 Status DamarisNode::start() {
   if (started_) return failed_precondition("node already started");
+  // Instantiate the <plugins> in-situ chain before any shard thread
+  // exists: a bad declaration (unknown type) fails start() instead of
+  // surfacing mid-run. Rebuilt on every start so a restarted node gets
+  // fresh accounting.
+  if (!cfg_.plugins().empty()) {
+    auto pipeline = plugin::build_pipeline(cfg_.plugins(), plugin_types_);
+    if (!pipeline.is_ok()) return pipeline.status();
+    block_plugins_ = std::move(pipeline).value();
+  } else {
+    block_plugins_.reset();
+  }
   started_ = true;
   start_time_ = Clock::now();
   for (auto& shard : shards_) {
@@ -374,6 +385,44 @@ void DamarisNode::complete_iteration(Shard& shard, std::int64_t iteration) {
   rec.shard = shard.id;
   rec.blocks = blocks.size();
   for (const auto& b : blocks) rec.raw_bytes += b.size;
+
+  // The in-situ window (DESIGN.md §15): every block of the iteration is
+  // published and still in shared memory, persist has not started —
+  // plugins read the complete data here, on the dedicated core, while
+  // the clients already compute the next iteration. A zero-plugin
+  // configuration takes the exact historical path (no views built, no
+  // pipeline call), which is what the byte-identical parity test pins.
+  if (block_plugins_ != nullptr && !block_plugins_->empty()) {
+    std::vector<plugin::BlockView> views;
+    views.reserve(blocks.size());
+    for (const auto& b : blocks) {
+      plugin::BlockView v;
+      v.variable = b.variable;
+      v.iteration = b.iteration;
+      v.source = b.source;
+      v.layout = &b.layout;
+      v.data = std::span<const std::byte>(buffer_->data(b.block),
+                                          static_cast<std::size_t>(b.size));
+      views.push_back(v);
+    }
+    plugin::PluginContext ctx;
+    ctx.shard = shard.id;
+    ctx.publish = [this](const std::string& key, double value) {
+      publish_analytic(key, value);
+    };
+    const auto p0 = Clock::now();
+    Status plugin_status =
+        block_plugins_->run_iteration(iteration, views, ctx);
+    rec.plugin_seconds = seconds_since(p0);
+    if (!plugin_status.is_ok()) {
+      // Already counted + logged per plugin by the pipeline; the
+      // iteration proceeds regardless (a broken plugin must never fail
+      // a persist).
+      DMR_LOG(kWarn, "damaris")
+          << "plugin chain reported an error on iteration " << iteration
+          << ": " << plugin_status.to_string();
+    }
+  }
 
   const auto t0 = Clock::now();
   Status persist_status = Status::ok();

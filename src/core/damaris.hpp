@@ -49,6 +49,8 @@
 #include "des/task.hpp"
 #include "fault/degrade.hpp"
 #include "fault/fault.hpp"
+#include "plugin/pipeline.hpp"
+#include "plugin/registry.hpp"
 #include "shm/event_queue.hpp"
 #include "shm/shared_buffer.hpp"
 
@@ -98,6 +100,9 @@ struct IterationRecord {
   Bytes raw_bytes = 0;
   /// Wall time the dedicated core spent persisting this iteration.
   double write_seconds = 0.0;
+  /// Wall time the in-situ plugin chain consumed before persist ran
+  /// (0 when no plugins are configured — the plugin-less path).
+  double plugin_seconds = 0.0;
   /// False when the persistency write still failed after all retries.
   bool persisted = true;
 };
@@ -254,6 +259,36 @@ class DamarisNode {
 
   /// Register custom actions before start().
   PluginRegistry& plugins() { return plugins_; }
+
+  /// Factory table for the <plugins> in-situ chain (pre-seeded with the
+  /// builtins). Register custom plugin types before start(); start()
+  /// instantiates the configuration's chain from it.
+  plugin::PluginRegistry& plugin_types() { return plugin_types_; }
+
+  /// The running in-situ chain (nullptr when the configuration declares
+  /// no plugins). Plugin instances are safe to inspect after stop().
+  plugin::PluginPipeline* block_plugins() { return block_plugins_.get(); }
+
+  /// Per-plugin wall-clock accounting (empty without plugins).
+  std::vector<plugin::PluginStats> plugin_stats() const {
+    return block_plugins_ ? block_plugins_->stats()
+                          : std::vector<plugin::PluginStats>{};
+  }
+
+  /// Async write tickets submitted but not yet completed — the TASIO
+  /// task-state view the monitor streams. Monotonic reads: completions
+  /// is loaded first so the difference never goes negative.
+  std::uint64_t outstanding_tickets() const {
+    const std::uint64_t done =
+        ticket_completions_.load(std::memory_order_acquire);
+    const std::uint64_t submitted = ticket_seq_.load(std::memory_order_acquire);
+    return submitted >= done ? submitted - done : 0;
+  }
+
+  /// Live degrade-FSM state (kNormal when resilience is unconfigured).
+  fault::DegradeMode degrade_mode() const {
+    return degrade_ ? degrade_->mode() : fault::DegradeMode::kNormal;
+  }
 
   const config::Config& config() const { return cfg_; }
   int num_clients() const { return num_clients_; }
@@ -429,6 +464,13 @@ class DamarisNode {
   std::unique_ptr<shm::SharedBuffer> buffer_;
   std::vector<std::unique_ptr<Shard>> shards_;
   PluginRegistry plugins_;
+
+  /// In-situ analytics (DESIGN.md §15): the factory table callers may
+  /// extend before start(), and the chain built from the <plugins>
+  /// section. The pipeline serializes itself; shard threads call into
+  /// it from complete_iteration().
+  plugin::PluginRegistry plugin_types_ = plugin::PluginRegistry::with_builtins();
+  std::unique_ptr<plugin::PluginPipeline> block_plugins_;
 
   /// Resolved resilience policy (NodeOptions override or config).
   fault::ResilienceConfig resilience_;

@@ -456,6 +456,90 @@ FigureReport fig5_report() {
   return rep;
 }
 
+// ------------------------------------------------------------ fig5 plugins
+
+/// Analytic cost model for the builtin in-situ chain (statistics +
+/// minmax_index + downsample): every published byte is streamed through
+/// three single-pass kernels, modelled at a fixed aggregate rate. A
+/// model constant — not a wall-clock measurement — keeps the report
+/// deterministic; bench_plugin --check is where the real clock gets
+/// compared against the real idle budget.
+constexpr double kPluginChainBytesPerSecond = 1.5 * 1024.0 * 1024.0 * 1024.0;
+
+FigureReport fig5_plugins_report() {
+  const double kIterSeconds = 230.0;
+  struct Row {
+    int cores = 0;
+    double node_mb = 0.0;     // data per node per iteration
+    double idle_s = 0.0;      // dedicated-core idle seconds per iteration
+    double plugin_s = 0.0;    // modelled chain seconds per iteration
+    double idle_share = 0.0;  // plugin_s / idle_s
+    double spare_with = 0.0;  // spare fraction with the chain running
+  };
+  std::vector<Row> rows;
+  for (int cores : kraken_scales()) {
+    RunConfig cfg = kraken_config(StrategyKind::kDamaris, cores,
+                                  /*iterations=*/5, /*write_interval=*/1,
+                                  kIterSeconds);
+    const RunResult res = run_strategy(cfg);
+    Row r;
+    r.cores = cores;
+    const double node_bytes =
+        static_cast<double>(res.bytes_per_phase) / res.nodes;
+    r.node_mb = node_bytes / static_cast<double>(MiB);
+    r.idle_s = res.dedicated_spare_fraction * kIterSeconds;
+    r.plugin_s = node_bytes / kPluginChainBytesPerSecond;
+    r.idle_share = r.idle_s > 0.0 ? r.plugin_s / r.idle_s : 0.0;
+    r.spare_with =
+        res.dedicated_spare_fraction - r.plugin_s / kIterSeconds;
+    rows.push_back(r);
+  }
+
+  FigureReport rep;
+  rep.id = "fig5_plugins";
+  rep.heading =
+      "## Figure 5 (cont.) — in-situ plugins inside the idle budget "
+      "(`bench_plugin`)";
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"cores", "data/node/iter", "idle s/iter",
+                   "plugin chain s/iter", "share of idle",
+                   "spare w/ plugins"});
+  for (const Row& r : rows) {
+    table.push_back({std::to_string(r.cores), num(r.node_mb, 0) + " MiB",
+                     num(r.idle_s, 1) + " s", num(r.plugin_s, 3) + " s",
+                     num(r.idle_share * 100.0, 2) + "%",
+                     num(r.spare_with * 100.0, 0) + "%"});
+  }
+  rep.body_md =
+      md_table(table) +
+      "\nThe builtin chain (statistics + min/max index + downsample) "
+      "is modelled at 1.5 GiB/s aggregate over each node's published "
+      "bytes; even at 9216 cores it consumes well under 1% of the "
+      "dedicated core's idle time, so the paper's \"use the spare time "
+      "for analytics\" claim (§IV-C3) holds with room to spare. "
+      "`bench_plugin --check` enforces the same fit with measured wall "
+      "clock on every CI run.\n";
+
+  JsonObj m;
+  m.add_num("iteration_seconds", kIterSeconds);
+  m.add_num("chain_bytes_per_second", kPluginChainBytesPerSecond);
+  std::string per_scale = "[";
+  for (const Row& r : rows) {
+    if (per_scale.size() > 1) per_scale += ", ";
+    per_scale += "{\"cores\": " + std::to_string(r.cores) +
+                 ", \"node_mb_per_iteration\": " + g6(r.node_mb) +
+                 ", \"idle_s_per_iteration\": " + g6(r.idle_s) +
+                 ", \"plugin_s_per_iteration\": " + g6(r.plugin_s) +
+                 ", \"plugin_share_of_idle\": " + g6(r.idle_share) +
+                 ", \"spare_fraction_with_plugins\": " + g6(r.spare_with) +
+                 "}";
+  }
+  per_scale += "]";
+  m.add_raw("per_scale", per_scale);
+  rep.json = figure_json(rep.id, "bench_plugin", m, nullptr);
+  return rep;
+}
+
 // ------------------------------------------------------------------- table1
 
 FigureReport table1_report() {
@@ -674,6 +758,7 @@ std::vector<FigureReport> generate_figure_reports() {
   reports.push_back(fig3_report());
   reports.push_back(fig4_report());
   reports.push_back(fig5_report());
+  reports.push_back(fig5_plugins_report());
   reports.push_back(fig6_report(kraken));
   reports.push_back(table1_report());
   reports.push_back(fig7_report());

@@ -1,0 +1,86 @@
+// Minimal JSON value type + recursive-descent parser for the monitor's
+// wire protocol (DESIGN.md §15). The *server* side never uses this —
+// snapshots are serialized by hand with fixed formatting so a
+// deterministic workload yields byte-identical lines — but the client,
+// dmr_top and the tests need to read those lines back. Deliberately
+// tiny: objects/arrays as sorted-insensitive vectors, numbers as
+// double, enough escape handling for the protocol's own output.
+//
+// Thread-safety: plain value semantics, no internal synchronization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dmr::monitor {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<Json> parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& as_string() const { return string_; }
+
+  std::size_t size() const {
+    return is_array() ? items_.size() : is_object() ? members_.size() : 0;
+  }
+  /// Array element (null Json when out of range / not an array).
+  const Json& at(std::size_t i) const;
+  /// Object member (null Json when absent / not an object).
+  const Json& at(std::string_view key) const;
+  bool has(std::string_view key) const;
+
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Compact serialization (objects keep insertion order; numbers %.17g
+  /// round-trip). For tests and tooling, not the server's wire format.
+  std::string dump() const;
+
+  void push_back(Json v);                    // arrays
+  void set(std::string key, Json v);         // objects (replace or add)
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace dmr::monitor

@@ -1,0 +1,57 @@
+#include "plugin/registry.hpp"
+
+#include <utility>
+
+#include "plugin/builtin.hpp"
+
+namespace dmr::plugin {
+
+void PluginRegistry::register_type(const std::string& type, Factory factory) {
+  factories_[type] = std::move(factory);
+}
+
+Result<std::unique_ptr<BlockPlugin>> PluginRegistry::create(
+    const config::PluginDecl& decl) const {
+  auto it = factories_.find(decl.type);
+  if (it == factories_.end()) {
+    return not_found("unknown plugin type '" + decl.type + "' (plugin '" +
+                     decl.name + "')");
+  }
+  return it->second(decl);
+}
+
+PluginRegistry PluginRegistry::with_builtins() {
+  PluginRegistry r;
+  r.register_type("statistics", [](const config::PluginDecl& d)
+                      -> Result<std::unique_ptr<BlockPlugin>> {
+    return std::unique_ptr<BlockPlugin>(new StatisticsPlugin(d.name));
+  });
+  r.register_type("minmax_index", [](const config::PluginDecl& d)
+                      -> Result<std::unique_ptr<BlockPlugin>> {
+    return std::unique_ptr<BlockPlugin>(new MinMaxIndexPlugin(d.name));
+  });
+  r.register_type("downsample", [](const config::PluginDecl& d)
+                      -> Result<std::unique_ptr<BlockPlugin>> {
+    return std::unique_ptr<BlockPlugin>(new DownsamplePlugin(d.name, d.stride));
+  });
+  return r;
+}
+
+Result<std::unique_ptr<PluginPipeline>> build_pipeline(
+    const config::PluginsConfig& cfg, const PluginRegistry& registry) {
+  PipelineOptions opts;
+  opts.iteration_budget_seconds = cfg.budget_ms / 1000.0;
+  opts.on_error = cfg.on_error == "disable" ? FailurePolicy::kDisable
+                                            : FailurePolicy::kWarn;
+  opts.on_overrun = cfg.on_overrun == "disable" ? FailurePolicy::kDisable
+                                                : FailurePolicy::kWarn;
+  auto pipeline = std::make_unique<PluginPipeline>(opts);
+  for (const config::PluginDecl& decl : cfg.plugins) {
+    auto plugin = registry.create(decl);
+    if (!plugin.is_ok()) return plugin.status();
+    pipeline->add(std::move(plugin).value(), decl.variables);
+  }
+  return pipeline;
+}
+
+}  // namespace dmr::plugin

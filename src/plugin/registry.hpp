@@ -1,0 +1,56 @@
+// PluginRegistry — the factory table behind the <plugins> config
+// section. Maps a plugin *type* name to a factory producing a
+// BlockPlugin instance from its declaration; with_builtins() seeds the
+// three paper analytics ("statistics", "minmax_index", "downsample")
+// and callers register custom types before the node starts — the same
+// registered-callable extension point core::PluginRegistry uses for
+// event actions, without a dynamic loader.
+//
+// Thread-safety: populate the registry before handing it to
+// build_pipeline()/the node; lookups after that are read-only.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "config/config.hpp"
+#include "plugin/pipeline.hpp"
+#include "plugin/plugin.hpp"
+
+namespace dmr::plugin {
+
+class PluginRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<BlockPlugin>>(
+      const config::PluginDecl&)>;
+
+  /// Registers (or replaces) the factory for `type`.
+  void register_type(const std::string& type, Factory factory);
+
+  bool contains(const std::string& type) const {
+    return factories_.count(type) != 0;
+  }
+  std::size_t size() const { return factories_.size(); }
+
+  /// Instantiates `decl` (kNotFound for unknown types; factories may
+  /// fail on bad parameters).
+  Result<std::unique_ptr<BlockPlugin>> create(
+      const config::PluginDecl& decl) const;
+
+  /// A registry pre-seeded with the builtin analytics.
+  static PluginRegistry with_builtins();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Builds the whole chain from a parsed <plugins> section: policies
+/// from the section attributes, one instance per <plugin> declaration,
+/// in declaration order. Returns the first factory failure.
+Result<std::unique_ptr<PluginPipeline>> build_pipeline(
+    const config::PluginsConfig& cfg, const PluginRegistry& registry);
+
+}  // namespace dmr::plugin

@@ -28,9 +28,11 @@ enum class Category : std::uint32_t {
   kPipeline = 1u << 2,  // iopath write-pipeline stage boundaries
   kPersist = 1u << 3,   // real persistency layer (wall clock)
   kFault = 1u << 4,     // fault injection, retries, degrade transitions
+  kPlugin = 1u << 5,    // in-situ plugin pipeline on the dedicated core
+  kMonitor = 1u << 6,   // live monitoring server (snapshots, alerts)
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x1Fu;
+inline constexpr std::uint32_t kAllCategories = 0x7Fu;
 
 inline constexpr std::uint32_t category_bit(Category c) {
   return static_cast<std::uint32_t>(c);

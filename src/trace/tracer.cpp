@@ -21,6 +21,8 @@ const char* category_name(Category c) {
     case Category::kPipeline: return "pipeline";
     case Category::kPersist: return "persist";
     case Category::kFault: return "fault";
+    case Category::kPlugin: return "plugin";
+    case Category::kMonitor: return "monitor";
   }
   return "?";
 }

@@ -366,5 +366,118 @@ TEST(Config, RejectsMalformedScheduling) {
                    .is_ok());
 }
 
+// --------------------------------------------------- <plugins> section
+
+TEST(Config, ParsesPlugins) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <layout name="grid" type="float32" dimensions="8"/>
+      <variable name="field" layout="grid"/>
+      <variable name="aux" layout="grid"/>
+      <plugins budget_ms="12.5" on_error="disable" on_overrun="warn">
+        <plugin name="stats" type="statistics" variables="field,aux"/>
+        <plugin name="down" type="downsample" variables="field" stride="16"/>
+      </plugins>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const PluginsConfig& p = r.value().plugins();
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.budget_ms, 12.5);
+  EXPECT_EQ(p.on_error, "disable");
+  EXPECT_EQ(p.on_overrun, "warn");
+  ASSERT_EQ(p.plugins.size(), 2u);
+  EXPECT_EQ(p.plugins[0].name, "stats");
+  EXPECT_EQ(p.plugins[0].type, "statistics");
+  ASSERT_EQ(p.plugins[0].variables.size(), 2u);
+  EXPECT_EQ(p.plugins[0].variables[1], "aux");
+  EXPECT_EQ(p.plugins[1].stride, 16);
+}
+
+TEST(Config, PluginsDefaultEmpty) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().plugins().empty());
+
+  auto empty_section = Config::from_string("<damaris><plugins/></damaris>");
+  ASSERT_TRUE(empty_section.is_ok());
+  EXPECT_TRUE(empty_section.value().plugins().empty());
+}
+
+TEST(Config, RejectsMalformedPlugins) {
+  const char* bad[] = {
+      // plugin without a name
+      R"(<damaris><plugins><plugin type="statistics"/></plugins></damaris>)",
+      // plugin without a type
+      R"(<damaris><plugins><plugin name="p"/></plugins></damaris>)",
+      // duplicate plugin names
+      R"(<damaris><plugins>
+           <plugin name="p" type="statistics"/>
+           <plugin name="p" type="downsample"/>
+         </plugins></damaris>)",
+      // negative budget
+      R"(<damaris><plugins budget_ms="-1"/></damaris>)",
+      // unknown failure policy
+      R"(<damaris><plugins on_error="explode"/></damaris>)",
+      R"(<damaris><plugins on_overrun="explode"/></damaris>)",
+      // stride below 1
+      R"(<damaris><plugins>
+           <plugin name="p" type="downsample" stride="0"/>
+         </plugins></damaris>)",
+      // empty token in the variable list
+      R"(<damaris>
+           <layout name="g" type="float32" dimensions="4"/>
+           <variable name="v" layout="g"/>
+           <plugins><plugin name="p" type="statistics" variables="v,"/>
+           </plugins></damaris>)",
+      // variables must name declared variables
+      R"(<damaris><plugins>
+           <plugin name="p" type="statistics" variables="ghost"/>
+         </plugins></damaris>)",
+  };
+  for (const char* xml : bad) {
+    EXPECT_FALSE(Config::from_string(xml).is_ok()) << xml;
+  }
+}
+
+// --------------------------------------------------- <monitor> section
+
+TEST(Config, ParsesMonitor) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <monitor enabled="true" socket="/tmp/dmr.sock" interval_ms="250"
+               slo_p95_ms="10" slo_max_ms="50"/>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const MonitorConfig& m = r.value().monitor();
+  EXPECT_TRUE(m.enabled);
+  EXPECT_EQ(m.socket, "/tmp/dmr.sock");
+  EXPECT_EQ(m.interval_ms, 250);
+  EXPECT_DOUBLE_EQ(m.slo_p95_ms, 10.0);
+  EXPECT_DOUBLE_EQ(m.slo_max_ms, 50.0);
+}
+
+TEST(Config, MonitorDefaultsDisabled) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().monitor().enabled);
+  EXPECT_EQ(r.value().monitor().interval_ms, 100);
+}
+
+TEST(Config, RejectsMalformedMonitor) {
+  // enabled without a socket path
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><monitor enabled="true"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><monitor enabled="yes" socket="/tmp/x"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><monitor socket="/tmp/x" interval_ms="0"/></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><monitor socket="/tmp/x" slo_p95_ms="-2"/></damaris>)")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace dmr::config

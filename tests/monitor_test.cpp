@@ -1,0 +1,412 @@
+// Tests for the live observability server (src/monitor):
+//  - the minimal JSON parser round-trips the wire format and rejects
+//    malformed documents;
+//  - snapshot serialization is one stable JSON line the parser reads
+//    back field-for-field;
+//  - protocol: ping/snapshot/subscribe/unsubscribe/quit over a real
+//    AF_UNIX socket, unknown commands answered with an error line;
+//  - resilience: a client disconnecting mid-stream leaves the server
+//    serving everyone else;
+//  - SLO policy: threshold alerts appear on emitted snapshots;
+//  - node integration: a MonitorClient observes a live DamarisNode's
+//    jitter percentiles, degrade state and ledger counters mid-run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "check/fault_checker.hpp"
+#include "config/config.hpp"
+#include "core/damaris.hpp"
+#include "monitor/client.hpp"
+#include "monitor/json.hpp"
+#include "monitor/node_source.hpp"
+#include "monitor/server.hpp"
+#include "monitor/snapshot.hpp"
+
+namespace dmr::monitor {
+namespace {
+
+std::string test_socket(const std::string& tag) {
+  return "/tmp/dmr_montest_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+/// A deterministic synthetic snapshot source.
+MonitorSnapshot sample_snapshot() {
+  MonitorSnapshot s;
+  s.source = "test";
+  s.iterations = 7;
+  s.shards = 2;
+  s.clients = 4;
+  s.spare_fraction = 0.25;
+  Sample jitter;
+  for (double v : {0.010, 0.011, 0.012, 0.013, 0.050}) jitter.add(v);
+  s.write_jitter = trace::JitterSummary::of(jitter);
+  s.degrade_mode = "normal";
+  s.ledger_valid = true;
+  s.ledger.published = 28;
+  s.ledger.persisted = 28;
+  s.outstanding_tickets = 3;
+  s.plugin_seconds = 0.004;
+  plugin::PluginStats p;
+  p.name = "stats";
+  p.blocks = 28;
+  p.bytes = 1 << 20;
+  p.seconds = 0.004;
+  s.plugins.push_back(p);
+  return s;
+}
+
+// ------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  auto r = Json::parse(
+      R"({"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -3}})");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Json& j = r.value();
+  EXPECT_DOUBLE_EQ(j.at("a").as_number(), 1.5);
+  EXPECT_TRUE(j.at("b").at(std::size_t{0}).as_bool());
+  EXPECT_TRUE(j.at("b").at(std::size_t{1}).is_null());
+  EXPECT_EQ(j.at("b").at(std::size_t{2}).as_string(), "x\n\"y\"");
+  EXPECT_EQ(j.at("c").at("d").as_int(), -3);
+  EXPECT_FALSE(j.has("missing"));
+  EXPECT_TRUE(j.at("missing").is_null());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Json::parse("").is_ok());
+  EXPECT_FALSE(Json::parse("{").is_ok());
+  EXPECT_FALSE(Json::parse("[1,]").is_ok());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing").is_ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(Json::parse("nul").is_ok());
+}
+
+TEST(Json, DumpRoundTrips) {
+  auto first = Json::parse(R"({"x": [1, 2.25, "s"], "y": {"z": false}})");
+  ASSERT_TRUE(first.is_ok());
+  auto second = Json::parse(first.value().dump());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().dump(), second.value().dump());
+}
+
+TEST(Snapshot, SerializesToOneParsableLine) {
+  const MonitorSnapshot s = sample_snapshot();
+  const std::string line = s.to_json();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto r = Json::parse(line);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Json& j = r.value();
+  EXPECT_EQ(j.at("type").as_string(), "snapshot");
+  EXPECT_EQ(j.at("iterations").as_int(), 7);
+  EXPECT_EQ(j.at("write_jitter").at("count").as_int(), 5);
+  EXPECT_NEAR(j.at("write_jitter").at("max").as_number(), 0.050, 1e-9);
+  EXPECT_EQ(j.at("degrade").at("mode").as_string(), "normal");
+  EXPECT_EQ(j.at("ledger").at("published").as_int(), 28);
+  EXPECT_EQ(j.at("outstanding_tickets").as_int(), 3);
+  ASSERT_EQ(j.at("plugins").size(), 1u);
+  EXPECT_EQ(j.at("plugins").at(std::size_t{0}).at("name").as_string(),
+            "stats");
+  EXPECT_EQ(j.at("stages").size(), static_cast<std::size_t>(
+                                       iopath::kNumStageKinds));
+}
+
+TEST(Snapshot, LedgerIsNullWithoutChecker) {
+  MonitorSnapshot s = sample_snapshot();
+  s.ledger_valid = false;
+  auto r = Json::parse(s.to_json());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().at("ledger").is_null());
+}
+
+TEST(Slo, AlertsFireOnThresholdBreach) {
+  const MonitorSnapshot s = sample_snapshot();  // p95 well above 1 ms
+  SloPolicy slo;
+  slo.p95_ms = 1.0;
+  slo.max_ms = 10.0;
+  const auto alerts = evaluate_slo(s, slo);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_NE(alerts[0].find("p95"), std::string::npos);
+  EXPECT_NE(alerts[1].find("max"), std::string::npos);
+
+  SloPolicy lax;
+  lax.p95_ms = 1000.0;
+  EXPECT_TRUE(evaluate_slo(s, lax).empty());
+  EXPECT_TRUE(evaluate_slo(s, SloPolicy{}).empty());  // 0 = disabled
+}
+
+// --------------------------------------------------------- protocol
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void start(const std::string& tag, SloPolicy slo = {}) {
+    opts_.socket_path = test_socket(tag);
+    opts_.slo = slo;
+    server_ = std::make_unique<MonitorServer>(
+        opts_, [this]() {
+          ++polls_;
+          return sample_snapshot();
+        });
+    ASSERT_TRUE(server_->start().is_ok());
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  MonitorOptions opts_;
+  std::unique_ptr<MonitorServer> server_;
+  std::atomic<int> polls_{0};
+};
+
+TEST_F(ServerFixture, PingSnapshotSubscribeQuit) {
+  start("proto");
+  MonitorClient client;
+  ASSERT_TRUE(client.connect(opts_.socket_path).is_ok());
+  EXPECT_TRUE(client.ping().is_ok());
+
+  auto snap = client.snapshot();
+  ASSERT_TRUE(snap.is_ok()) << snap.status().to_string();
+  EXPECT_EQ(snap.value().at("type").as_string(), "snapshot");
+  EXPECT_EQ(snap.value().at("seq").as_int(), 1);
+  EXPECT_EQ(snap.value().at("source").as_string(), "test");
+
+  ASSERT_TRUE(client.subscribe(/*interval_ms=*/10).is_ok());
+  // First streamed frame arrives immediately, then periodically.
+  auto f1 = client.next();
+  auto f2 = client.next();
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f2.is_ok());
+  EXPECT_GT(f2.value().at("seq").as_int(), f1.value().at("seq").as_int());
+
+  ASSERT_TRUE(client.send_line("unsubscribe").is_ok());
+  auto ack = client.next();
+  bool saw_ack = false;
+  // Skip any in-flight stream frames before the ack.
+  for (int i = 0; i < 5 && ack.is_ok(); ++i) {
+    if (ack.value().at("type").as_string() == "unsubscribed") {
+      saw_ack = true;
+      break;
+    }
+    ack = client.next();
+  }
+  EXPECT_TRUE(saw_ack);
+
+  ASSERT_TRUE(client.send_line("quit").is_ok());
+  auto bye = client.next();
+  ASSERT_TRUE(bye.is_ok());
+  EXPECT_EQ(bye.value().at("type").as_string(), "bye");
+  // Server closes after bye.
+  EXPECT_FALSE(client.read_line(500).is_ok());
+}
+
+TEST_F(ServerFixture, UnknownCommandsGetErrorLines) {
+  start("badcmd");
+  MonitorClient client;
+  ASSERT_TRUE(client.connect(opts_.socket_path).is_ok());
+  ASSERT_TRUE(client.send_line("frobnicate").is_ok());
+  auto reply = client.next();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().at("type").as_string(), "error");
+  EXPECT_FALSE(reply.value().at("ok").as_bool(true));
+  // Still serving afterwards.
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_GE(server_->stats().bad_commands, 1u);
+}
+
+TEST_F(ServerFixture, SubscribeRejectsBadInterval) {
+  start("badint");
+  MonitorClient client;
+  ASSERT_TRUE(client.connect(opts_.socket_path).is_ok());
+  ASSERT_TRUE(client.send_line("subscribe nonsense").is_ok());
+  auto reply = client.next();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().at("type").as_string(), "error");
+  ASSERT_TRUE(client.send_line("subscribe -5").is_ok());
+  reply = client.next();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().at("type").as_string(), "error");
+}
+
+TEST_F(ServerFixture, DisconnectMidStreamLeavesServerServing) {
+  start("dropper");
+  // Subscriber A at a fast interval, then vanishes without unsubscribe.
+  auto dropper = std::make_unique<MonitorClient>();
+  ASSERT_TRUE(dropper->connect(opts_.socket_path).is_ok());
+  ASSERT_TRUE(dropper->subscribe(/*interval_ms=*/5).is_ok());
+  ASSERT_TRUE(dropper->next().is_ok());  // stream is live
+  dropper->close();                      // mid-stream disconnect
+
+  // Survivor B keeps getting service afterwards.
+  MonitorClient survivor;
+  ASSERT_TRUE(survivor.connect(opts_.socket_path).is_ok());
+  for (int i = 0; i < 3; ++i) {
+    auto snap = survivor.snapshot();
+    ASSERT_TRUE(snap.is_ok()) << snap.status().to_string();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // The server eventually notices the dropped subscriber (its periodic
+  // send hits EPIPE/ECONNRESET) and cleans it up without dying.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->stats().disconnected < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server_->stats().disconnected, 1u);
+  EXPECT_TRUE(server_->running());
+  EXPECT_TRUE(survivor.ping().is_ok());
+}
+
+// Regression: a connection accepted in a poll round has no pollfd entry
+// yet in that round. The loop used to read the stale fds slot left by a
+// previously disconnected client (POLLIN|POLLHUP revents) and drop the
+// fresh connection before its first command was ever read.
+TEST_F(ServerFixture, ClientAcceptedAfterPriorDisconnectIsServed) {
+  start("reconnect");
+  {
+    MonitorClient first;
+    ASSERT_TRUE(first.connect(opts_.socket_path).is_ok());
+    ASSERT_TRUE(first.snapshot().is_ok());
+  }  // destructor closes; the server's next round sees POLLIN|POLLHUP
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->stats().disconnected < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(server_->stats().disconnected, 1u);
+
+  MonitorClient second;
+  ASSERT_TRUE(second.connect(opts_.socket_path).is_ok());
+  ASSERT_TRUE(second.subscribe(/*interval_ms=*/20).is_ok());
+  auto snap = second.next();
+  ASSERT_TRUE(snap.is_ok()) << snap.status().to_string();
+  EXPECT_EQ(snap.value().at("type").as_string(), "snapshot");
+  EXPECT_TRUE(server_->running());
+}
+
+TEST_F(ServerFixture, SloAlertsAppearOnEmittedSnapshots) {
+  SloPolicy slo;
+  slo.p95_ms = 1.0;  // sample jitter p95 is ~13 ms
+  start("slo", slo);
+  MonitorClient client;
+  ASSERT_TRUE(client.connect(opts_.socket_path).is_ok());
+  auto snap = client.snapshot();
+  ASSERT_TRUE(snap.is_ok());
+  ASSERT_GE(snap.value().at("alerts").size(), 1u);
+  EXPECT_NE(snap.value().at("alerts").at(std::size_t{0}).as_string().find(
+                "p95"),
+            std::string::npos);
+  EXPECT_GE(server_->stats().alerts_raised, 1u);
+}
+
+TEST_F(ServerFixture, StopIsIdempotentAndUnlinksSocket) {
+  start("stop");
+  const std::string path = opts_.socket_path;
+  EXPECT_TRUE(std::filesystem::exists(path));
+  server_->stop();
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// --------------------------------------------------- node integration
+
+TEST(NodeMonitor, ObservesLiveSimulation) {
+  constexpr const char* kXml = R"(
+<damaris>
+  <buffer size="8388608" policy="firstfit"/>
+  <layout name="grid" type="float32" dimensions="256"/>
+  <variable name="field" layout="grid"/>
+  <plugins>
+    <plugin name="stats" type="statistics" variables="field"/>
+  </plugins>
+</damaris>)";
+  auto cfg = config::Config::from_string(kXml);
+  ASSERT_TRUE(cfg.is_ok());
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("monitor_node_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  check::FaultChecker checker;
+  core::NodeOptions nopts;
+  nopts.output_dir = dir.string();
+  nopts.file_prefix = "mon";
+  nopts.fault_checker = &checker;
+  core::DamarisNode node(std::move(cfg.value()), 2, nopts);
+
+  NodeSourceOptions sopts;
+  sopts.label = "monitor_test";
+  sopts.checker = &checker;
+  MonitorOptions mopts;
+  mopts.socket_path = test_socket("node");
+  MonitorServer server(mopts, node_snapshot_fn(node, sopts));
+  ASSERT_TRUE(server.start().is_ok());
+  ASSERT_TRUE(node.start().is_ok());
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&node, c] {
+      core::Client client = node.client(c);
+      std::vector<std::byte> payload(256 * sizeof(float), std::byte{0x11});
+      for (int it = 0; it < 8; ++it) {
+        ASSERT_TRUE(client.write("field", it, payload).is_ok());
+        ASSERT_TRUE(client.end_iteration(it).is_ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      ASSERT_TRUE(client.finalize().is_ok());
+    });
+  }
+
+  // Poll the live socket while the workload runs.
+  MonitorClient mc;
+  ASSERT_TRUE(mc.connect(mopts.socket_path).is_ok());
+  std::int64_t best_iterations = 0;
+  std::int64_t best_jitter = 0;
+  std::int64_t best_published = 0;
+  std::string mode;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto snap = mc.snapshot(2000);
+    ASSERT_TRUE(snap.is_ok()) << snap.status().to_string();
+    const Json& j = snap.value();
+    best_iterations = std::max(best_iterations, j.at("iterations").as_int());
+    best_jitter =
+        std::max(best_jitter, j.at("write_jitter").at("count").as_int());
+    best_published =
+        std::max(best_published, j.at("ledger").at("published").as_int());
+    if (j.at("degrade").at("mode").is_string()) {
+      mode = j.at("degrade").at("mode").as_string();
+    }
+    if (best_iterations > 0 && best_jitter > 0 && best_published > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(node.stop().is_ok());
+
+  EXPECT_GT(best_iterations, 0);
+  EXPECT_GT(best_jitter, 0);
+  EXPECT_GT(best_published, 0);
+  EXPECT_FALSE(mode.empty());
+
+  // After the run, the final snapshot carries the plugin table.
+  auto final_snap = mc.snapshot();
+  ASSERT_TRUE(final_snap.is_ok());
+  ASSERT_EQ(final_snap.value().at("plugins").size(), 1u);
+  EXPECT_GT(
+      final_snap.value().at("plugins").at(std::size_t{0}).at("blocks").as_int(),
+      0);
+  mc.close();
+  server.stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dmr::monitor
