@@ -10,6 +10,8 @@
 #   scripts/check.sh --plugins  # ... plus the in-situ analytics gate
 #   scripts/check.sh --static   # ... plus the static gates: dmr_lint +
 #                               #     -Wthread-safety build (Clang only)
+#   scripts/check.sh --verify   # ... plus dmr_verify, the dataflow-level
+#                               #     determinism/atomics/shard analyzer
 #
 # Each sanitizer gets its own build tree (build-asan, build-ubsan,
 # build-tsan) so trees stay incremental across runs; the model-checking
@@ -28,6 +30,7 @@ RUN_CHAOS=0
 RUN_SCHED=0
 RUN_PLUGINS=0
 RUN_STATIC=0
+RUN_VERIFY=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
@@ -37,6 +40,7 @@ for arg in "$@"; do
     --sched) RUN_SCHED=1 ;;
     --plugins) RUN_PLUGINS=1 ;;
     --static) RUN_STATIC=1 ;;
+    --verify) RUN_VERIFY=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -228,6 +232,23 @@ if [ "$RUN_STATIC" = 1 ]; then
   else
     skipped "no clang++ >= ${MIN_CLANG_MAJOR} on PATH; the annotations are no-ops on this toolchain"
   fi
+fi
+
+# --------------------------------------------------- dataflow verifier
+# dmr_verify: dataflow-level determinism, atomics-discipline and
+# shard-safety rules (DESIGN.md §16) over the full tree, suppressed
+# only by the audited tools/dmr_verify/allowlist.txt. The whole-run
+# cache makes incremental reruns sub-second; machine-readable findings
+# land in results/static_findings_verify.json. Compiler-agnostic —
+# always runs.
+if [ "$RUN_VERIFY" = 1 ]; then
+  step "verify: dmr_verify (dataflow rules)"
+  cmake --build build -j "$JOBS" --target dmr_verify
+  mkdir -p results
+  ./build/tools/dmr_verify/dmr_verify --root . \
+    --compdb build/compile_commands.json \
+    --cache build/dmr_verify.cache \
+    --json results/static_findings_verify.json
 fi
 
 step "all checks passed"

@@ -13,6 +13,7 @@
 #   scripts/ci.sh --no-sched    # skip the adaptive-scheduler gate (bench_sched)
 #   scripts/ci.sh --no-plugins  # skip the in-situ analytics gate (bench_plugin)
 #   scripts/ci.sh --no-static   # skip the static gates (dmr_lint + -Wthread-safety)
+#   scripts/ci.sh --no-verify   # skip the dmr_verify dataflow analyzer
 #
 # Extra flags are passed through to scripts/check.sh. Exits non-zero on
 # the first failing step.
@@ -27,6 +28,7 @@ RUN_CHAOS=1
 RUN_SCHED=1
 RUN_PLUGINS=1
 RUN_STATIC=1
+RUN_VERIFY=1
 CHECK_ARGS=()
 for arg in "$@"; do
   case "$arg" in
@@ -37,6 +39,7 @@ for arg in "$@"; do
     --no-sched) RUN_SCHED=0 ;;
     --no-plugins) RUN_PLUGINS=0 ;;
     --no-static) RUN_STATIC=0 ;;
+    --no-verify) RUN_VERIFY=0 ;;
     --fast) RUN_MODEL=0; RUN_CHAOS=0; RUN_SCHED=0; RUN_PLUGINS=0; CHECK_ARGS+=("$arg") ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
@@ -55,6 +58,9 @@ if [ "$RUN_PLUGINS" = 1 ]; then
 fi
 if [ "$RUN_STATIC" = 1 ]; then
   CHECK_ARGS+=("--static")
+fi
+if [ "$RUN_VERIFY" = 1 ]; then
+  CHECK_ARGS+=("--verify")
 fi
 
 step() { printf '\n==== %s ====\n' "$*"; }

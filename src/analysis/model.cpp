@@ -1,0 +1,303 @@
+#include "analysis/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace dmr::analysis {
+
+namespace {
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+/// Collects declarator names that follow `type_tok<...>`: skips the
+/// balanced template-argument group, then declarator decoration
+/// (`[]`, stray `>`, `*`, `&`), reads an identifier, and accepts it only
+/// when what follows could end a declarator (`; { = , ) [` or a DMR_*
+/// annotation macro). Rejects uses in casts, `using` aliases and nested
+/// template arguments, where no identifier sits in that slot.
+void collect_template_decls(const std::string& s, const std::string& type_tok,
+                            std::set<std::string>& out) {
+  for (std::size_t pos = s.find(type_tok); pos != std::string::npos;
+       pos = s.find(type_tok, pos + 1)) {
+    if (pos > 0 && is_ident_char(s[pos - 1])) continue;
+    std::size_t i = pos + type_tok.size();
+    if (i < s.size() && is_ident_char(s[i])) continue;  // longer identifier
+    while (i < s.size() && is_space(s[i])) ++i;
+    if (i >= s.size() || s[i] != '<') continue;
+    const std::size_t after = match_forward(s, i, '<', '>');
+    if (after == std::string::npos) continue;
+    std::size_t j = after;
+    while (j < s.size()) {
+      if (is_space(s[j])) { ++j; continue; }
+      if (s[j] == '[') {
+        const std::size_t k = match_forward(s, j, '[', ']');
+        if (k == std::string::npos) break;
+        j = k;
+        continue;
+      }
+      if (s[j] == '>' || s[j] == '&' || s[j] == '*') { ++j; continue; }
+      break;
+    }
+    const std::size_t name_b = j;
+    while (j < s.size() && is_ident_char(s[j])) ++j;
+    if (j == name_b) continue;
+    const std::string name = s.substr(name_b, j - name_b);
+    if (name == "const" || name == "constexpr" || name == "noexcept" ||
+        name == "final" || name == "override")
+      continue;
+    std::size_t k = j;
+    while (k < s.size() && is_space(s[k])) ++k;
+    const char nx = k < s.size() ? s[k] : ';';
+    const bool annotated = nx == 'D' && s.compare(k, 4, "DMR_") == 0;
+    if (nx == ';' || nx == '{' || nx == '=' || nx == ',' || nx == ')' ||
+        nx == '[' || annotated)
+      out.insert(name);
+  }
+}
+
+const char* kUnorderedTypes[] = {
+    "std::unordered_map", "std::unordered_set", "std::unordered_multimap",
+    "std::unordered_multiset"};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+/// Cuts a declaration segment at a bit-field colon (a ':' that is not
+/// part of '::').
+std::string cut_bitfield(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != ':') continue;
+    const bool prev = i > 0 && s[i - 1] == ':';
+    const bool next = i + 1 < s.size() && s[i + 1] == ':';
+    if (prev || next) { ++i; continue; }
+    return s.substr(0, i);
+  }
+  return s;
+}
+
+/// Extracts one MemberDecl from a class-scope declaration segment, or
+/// returns false when the segment is not a data member.
+bool member_from_segment(const std::string& seg, MemberDecl& out) {
+  static const std::regex kAccess("\\b(public|private|protected)\\s*:(?!:)");
+  static const std::regex kNonMember(
+      "\\b(using|typedef|friend|static|constexpr|template|enum|class|struct|"
+      "union|operator)\\b");
+  std::string t = trim(std::regex_replace(seg, kAccess, " "));
+  if (t.empty()) return false;
+  if (std::regex_search(t, kNonMember)) return false;
+  std::string flat = strip_template_args(t);
+  if (flat.find('(') != std::string::npos) return false;  // function decl
+  if (flat.find("DMR_SHARD_SHARED") != std::string::npos)
+    out.shard = MemberDecl::Shard::kShared;
+  else if (flat.find("DMR_SHARD_LOCAL") != std::string::npos)
+    out.shard = MemberDecl::Shard::kLocal;
+  static const std::regex kMacro("\\bDMR_\\w+\\b");
+  flat = std::regex_replace(flat, kMacro, " ");
+  if (const std::size_t eq = flat.find('='); eq != std::string::npos)
+    flat = flat.substr(0, eq);
+  flat = cut_bitfield(flat);
+  if (const std::size_t br = flat.find('['); br != std::string::npos)
+    flat = flat.substr(0, br);
+  for (char& c : flat)
+    if (c == '*' || c == '&') c = ' ';
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : flat) {
+    if (is_ident_char(c) || c == ':') cur += c;
+    else if (!cur.empty()) { toks.push_back(cur); cur.clear(); }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  if (toks.size() < 2) return false;  // need at least `Type name`
+  const std::string& name = toks.back();
+  if (name.find(':') != std::string::npos) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) != 0 ||
+        name[0] == '_'))
+    return false;
+  out.name = name;
+  return true;
+}
+
+void parse_sync_table(TreeModel& m) {
+  if (const SourceFile* obs = m.find("src/shm/observer.hpp")) {
+    m.sync.kinds_rel = obs->rel;
+    const std::string& s = obs->stripped;
+    const std::size_t b = s.find("enum class Kind");
+    if (b != std::string::npos) {
+      const std::size_t open = s.find('{', b);
+      const std::size_t close =
+          open == std::string::npos ? open : match_forward(s, open, '{', '}');
+      if (open != std::string::npos && close != std::string::npos) {
+        const std::string body = s.substr(open, close - open);
+        static const std::regex kKind("\\b(k[A-Z]\\w*)");
+        for (std::sregex_iterator it(body.begin(), body.end(), kKind), end;
+             it != end; ++it)
+          if (std::find(m.sync.kinds.begin(), m.sync.kinds.end(),
+                        (*it)[1].str()) == m.sync.kinds.end())
+            m.sync.kinds.push_back((*it)[1].str());
+      }
+    }
+  }
+  const SourceFile* tbl = m.find("src/shm/sync_channels.hpp");
+  if (tbl == nullptr) return;
+  m.sync.table_rel = tbl->rel;
+  const std::string& s = tbl->stripped;
+  auto block = [&](const char* define) -> std::string {
+    const std::size_t b = s.find(define);
+    if (b == std::string::npos) return "";
+    std::size_t e = s.find("#define", b + 1);
+    if (e == std::string::npos) e = s.size();
+    return s.substr(b, e - b);
+  };
+  const std::string sync_block = block("#define DMR_SYNC_POINT_CHANNELS");
+  static const std::regex kPair(
+      "X\\(\\s*([A-Za-z_]\\w*)\\s*,\\s*([A-Za-z_]\\w*)");
+  for (std::sregex_iterator it(sync_block.begin(), sync_block.end(), kPair),
+       end;
+       it != end; ++it)
+    m.sync.kind_channels[(*it)[1].str()] = (*it)[2].str();
+  const std::string atomic_block = block("#define DMR_ATOMIC_CHANNELS");
+  static const std::regex kOne("X\\(\\s*([A-Za-z_]\\w*)");
+  for (std::sregex_iterator it(atomic_block.begin(), atomic_block.end(), kOne),
+       end;
+       it != end; ++it)
+    m.sync.atomic_channels.insert((*it)[1].str());
+}
+
+}  // namespace
+
+bool SyncTable::has_channel(const std::string& name) const {
+  if (atomic_channels.count(name) != 0) return true;
+  for (const auto& [kind, channel] : kind_channels)
+    if (channel == name) return true;
+  return false;
+}
+
+const SourceFile* TreeModel::find(const std::string& rel_suffix) const {
+  for (const SourceFile& f : files) {
+    if (f.rel == rel_suffix) return &f;
+    if (f.rel.size() > rel_suffix.size() &&
+        f.rel.compare(f.rel.size() - rel_suffix.size(), rel_suffix.size(),
+                      rel_suffix) == 0 &&
+        f.rel[f.rel.size() - rel_suffix.size() - 1] == '/')
+      return &f;
+  }
+  return nullptr;
+}
+
+std::set<std::string> atomic_decl_names(const std::string& stripped) {
+  std::set<std::string> names;
+  collect_template_decls(stripped, "std::atomic", names);
+  return names;
+}
+
+std::set<std::string> unordered_decl_names(const std::string& stripped) {
+  std::set<std::string> names;
+  for (const char* tok : kUnorderedTypes)
+    collect_template_decls(stripped, tok, names);
+  return names;
+}
+
+std::vector<MemberDecl> parse_members(const SourceFile& file) {
+  const std::string& s = file.stripped;
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kOther } kind = kOther;
+    std::string name;
+    bool nested = false;
+  };
+  std::vector<Scope> stack;
+  std::vector<MemberDecl> out;
+  std::string seg;
+  std::size_t seg_off = 0;
+  static const std::regex kClassRe(
+      "\\b(?:class|struct)\\s+(?:DMR_\\w+\\s*(?:\\([^)]*\\))?\\s*)?"
+      "([A-Za-z_]\\w*)");
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '{') {
+      Scope sc;
+      std::smatch m;
+      const bool in_class = !stack.empty() && stack.back().kind == Scope::kClass;
+      if (seg.find("enum") != std::string::npos) {
+        sc.kind = Scope::kOther;
+      } else if (std::regex_search(seg, m, kClassRe)) {
+        sc.kind = Scope::kClass;
+        sc.name = m[1].str();
+        for (const Scope& e : stack)
+          if (e.kind == Scope::kClass || e.kind == Scope::kFunction)
+            sc.nested = true;
+      } else if (seg.find("class") != std::string::npos ||
+                 seg.find("struct") != std::string::npos ||
+                 seg.find("union") != std::string::npos) {
+        sc.kind = Scope::kOther;  // anonymous aggregate
+      } else if (looks_like_function_header(seg)) {
+        sc.kind = Scope::kFunction;
+      } else if (seg.find("namespace") != std::string::npos) {
+        sc.kind = Scope::kNamespace;
+      } else if (in_class) {
+        // Brace initializer of a member (`std::uint64_t seq_{0};`):
+        // skip it so the declarator stays in the current segment.
+        const std::size_t k = match_forward(s, i, '{', '}');
+        if (k != std::string::npos) { i = k - 1; continue; }
+        sc.kind = Scope::kOther;
+      } else {
+        sc.kind = Scope::kOther;
+      }
+      stack.push_back(sc);
+      seg.clear();
+      seg_off = i + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      seg.clear();
+      seg_off = i + 1;
+    } else if (c == ';') {
+      if (!stack.empty() && stack.back().kind == Scope::kClass) {
+        MemberDecl d;
+        if (member_from_segment(seg, d)) {
+          d.cls = stack.back().name;
+          d.file = file.rel;
+          d.nested = stack.back().nested;
+          std::size_t b = seg_off;
+          while (b < i && is_space(s[b])) ++b;
+          d.line = line_of_offset(s, b);
+          out.push_back(d);
+        }
+      }
+      seg.clear();
+      seg_off = i + 1;
+    } else {
+      seg += c;
+    }
+  }
+  return out;
+}
+
+TreeModel build_model(std::vector<SourceFile> files) {
+  TreeModel m;
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.rel < b.rel; });
+  m.files = std::move(files);
+  for (std::size_t i = 0; i < m.files.size(); ++i) {
+    const SourceFile& f = m.files[i];
+    m.units[f.unit].push_back(i);
+    for (const std::string& n : atomic_decl_names(f.stripped))
+      m.unit_atomics[f.unit].insert(n);
+    for (const std::string& n : unordered_decl_names(f.stripped))
+      m.unit_unordered[f.unit].insert(n);
+    if (f.is_header)
+      for (MemberDecl& d : parse_members(f))
+        m.unit_members[f.unit].push_back(std::move(d));
+    for (std::size_t j = 0; j < f.functions.size(); ++j) {
+      m.fn_by_tail[f.functions[j].tail].push_back(m.all_fns.size());
+      m.all_fns.emplace_back(i, j);
+    }
+  }
+  parse_sync_table(m);
+  return m;
+}
+
+}  // namespace dmr::analysis

@@ -1,0 +1,42 @@
+// The three dmr_verify rule families (DESIGN.md §16). Each pass walks
+// the TreeModel and appends findings; suppression (allowlist) and
+// reporting live in analyzer.cpp.
+//
+//   determinism  det-unordered-sink   unordered-container iteration
+//                                     feeding a determinism sink
+//                det-pointer-key      pointer-keyed ordered container
+//                det-wall-in-sim      wall-clock read reachable from
+//                                     simulated-time code
+//   atomics      atomic-implicit-order  std::atomic op without an
+//                                       explicit memory_order
+//                atomic-relaxed-justify relaxed op (allowlist carries
+//                                       the justification)
+//                sync-channel           acquire/release sites vs the
+//                                       src/shm/sync_channels.hpp table
+//   shard        shard-annotation     des member lacking
+//                                     DMR_SHARD_LOCAL/_SHARED
+//                shard-channel-api    shard-shared state touched
+//                                     outside a DMR_CHANNEL_API fn
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+
+namespace dmr::analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;  ///< path relative to --root
+  int line = 0;
+  std::string symbol;  ///< offending identifier, when known
+  std::string message;
+  bool suppressed = false;
+};
+
+void run_determinism_rules(const TreeModel& model, std::vector<Finding>& out);
+void run_atomics_rules(const TreeModel& model, std::vector<Finding>& out);
+void run_shard_rules(const TreeModel& model, std::vector<Finding>& out);
+
+}  // namespace dmr::analysis

@@ -1,0 +1,306 @@
+// Atomics-discipline rules. Implicit seq_cst is banned not because
+// seq_cst is wrong but because it is *unstated*: every fence the
+// protocol relies on must be visible at the call site, and every
+// relaxed op must carry an allowlist justification. In src/shm the
+// acquire/release sites must additionally name a channel from
+// src/shm/sync_channels.hpp — the same table mc::HbRaceDetector links
+// against — so the static model and the dynamic race detector see the
+// same synchronization structure.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+
+namespace dmr::analysis {
+
+namespace {
+
+/// Member operations that take a memory_order argument.
+const char* kOrderOps[] = {"load",
+                           "store",
+                           "exchange",
+                           "fetch_add",
+                           "fetch_sub",
+                           "fetch_and",
+                           "fetch_or",
+                           "fetch_xor",
+                           "compare_exchange_weak",
+                           "compare_exchange_strong",
+                           "test_and_set",
+                           "clear",
+                           "wait"};
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+bool is_order_op(const std::string& name) {
+  for (const char* op : kOrderOps)
+    if (name == op) return true;
+  return false;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && is_space(s[i])) ++i;
+  return i;
+}
+
+char prev_nonspace(const std::string& s, std::size_t pos, std::size_t* at) {
+  while (pos > 0) {
+    --pos;
+    if (!is_space(s[pos])) {
+      if (at != nullptr) *at = pos;
+      return s[pos];
+    }
+  }
+  if (at != nullptr) *at = 0;
+  return '\0';
+}
+
+/// True when `name` is redeclared as a non-atomic local/parameter
+/// somewhere in the file (`const Bytes head = p.head.load(...)`), in
+/// which case bare uses of the shadow are fine.
+bool shadowed_in_file(const SourceFile& f, const std::string& name) {
+  const std::regex decl("[A-Za-z_][\\w:<>]*[\\s&*]+" + name +
+                        "\\s*[=:]([^=:]|$)");
+  for (std::sregex_iterator it(f.stripped.begin(), f.stripped.end(), decl),
+       end;
+       it != end; ++it) {
+    const int line = line_of_offset(
+        f.stripped, static_cast<std::size_t>(it->position()));
+    const std::string& raw =
+        static_cast<std::size_t>(line - 1) < f.raw_lines.size()
+            ? f.raw_lines[static_cast<std::size_t>(line - 1)]
+            : std::string();
+    if (raw.find("atomic") == std::string::npos) return true;
+  }
+  return false;
+}
+
+void scan_atomic_uses(const SourceFile& f, const std::set<std::string>& names,
+                      std::vector<Finding>& out) {
+  const std::string& s = f.stripped;
+  for (const std::string& name : names) {
+    bool shadow_checked = false;
+    bool shadowed = false;
+    for (std::size_t pos = s.find(name); pos != std::string::npos;
+         pos = s.find(name, pos + 1)) {
+      if (pos > 0 && is_ident_char(s[pos - 1])) continue;
+      const std::size_t end = pos + name.size();
+      if (end < s.size() && is_ident_char(s[end])) continue;
+      const int line = line_of_offset(s, pos);
+      // The declaration itself: check the stripped line (comments may
+      // mention "atomic" next to a genuine use).
+      const std::size_t lb = s.rfind('\n', pos) + 1;  // npos+1 == 0
+      std::size_t le = s.find('\n', pos);
+      if (le == std::string::npos) le = s.size();
+      if (s.substr(lb, le - lb).find("atomic") != std::string::npos) continue;
+      std::size_t prev_at = 0;
+      const char prev = prev_nonspace(s, pos, &prev_at);
+      if (prev == ':' ) continue;  // qualified something::name
+      // Step over subscripts: counts_[i].fetch_add(...).
+      std::size_t i = skip_ws(s, end);
+      while (i < s.size() && s[i] == '[') {
+        const std::size_t k = match_forward(s, i, '[', ']');
+        if (k == std::string::npos) break;
+        i = skip_ws(s, k);
+      }
+      const bool arrow = i + 1 < s.size() && s[i] == '-' && s[i + 1] == '>';
+      if ((i < s.size() && s[i] == '.') || arrow) {
+        std::size_t mb = skip_ws(s, i + (arrow ? 2 : 1));
+        std::size_t me = mb;
+        while (me < s.size() && is_ident_char(s[me])) ++me;
+        const std::string member = s.substr(mb, me - mb);
+        const std::size_t call = skip_ws(s, me);
+        if (is_order_op(member) && call < s.size() && s[call] == '(') {
+          const std::size_t argend = match_forward(s, call, '(', ')');
+          const std::string args =
+              argend == std::string::npos
+                  ? std::string()
+                  : s.substr(call + 1, argend - call - 2);
+          if (args.find("memory_order") == std::string::npos) {
+            out.push_back(
+                {"atomic-implicit-order", f.rel, line, name,
+                 "'" + name + "." + member +
+                     "' without an explicit memory_order (implicit "
+                     "seq_cst) — state the fence the protocol needs"});
+          } else if (args.find("relaxed") != std::string::npos) {
+            out.push_back(
+                {"atomic-relaxed-justify", f.rel, line, name,
+                 "relaxed ordering on '" + name + "." + member +
+                     "' — requires an allowlist justification"});
+          }
+          continue;
+        }
+        continue;  // some other member / non-ordering op
+      }
+      // Bare use: conversion or assignment through the implicit
+      // seq_cst operators.
+      if (prev == '&') continue;       // address-of (passed to an API)
+      if (prev == '~') continue;       // destructor name
+      if (i < s.size() && s[i] == '(') continue;  // ctor-init / call
+      if (prev == '.' || (prev == '>' && prev_at > 0 && s[prev_at - 1] == '-')) {
+        // Member access through an object: without type information the
+        // object may be an unrelated struct whose field shares the
+        // atomic's name (TraceEvent::name vs Slot::name in src/trace),
+        // so only `this->name` is trusted to denote the atomic.
+        std::size_t oe = prev == '>' ? prev_at - 1 : prev_at;
+        while (oe > 0 && is_space(s[oe - 1])) --oe;
+        std::size_t ob = oe;
+        while (ob > 0 && is_ident_char(s[ob - 1])) --ob;
+        if (s.substr(ob, oe - ob) != "this") continue;
+      } else {
+        if (!shadow_checked) {
+          shadowed = shadowed_in_file(f, name);
+          shadow_checked = true;
+        }
+        if (shadowed) continue;
+      }
+      out.push_back(
+          {"atomic-implicit-order", f.rel, line, name,
+           "bare use of std::atomic '" + name +
+               "' (implicit seq_cst conversion/assignment) — use "
+               ".load/.store with an explicit memory_order"});
+    }
+  }
+}
+
+// --- sync-channel -------------------------------------------------------
+
+struct ChannelSides {
+  int acquire = 0;
+  int release = 0;
+};
+
+/// Looks for a `sync: <channel>` annotation in the raw line of the op
+/// or the two lines above it (annotations ride in comments, which the
+/// stripped text no longer has).
+std::string sync_annotation(const SourceFile& f, int line) {
+  static const std::regex kAnnot("sync:\\s*([A-Za-z_]\\w*)");
+  for (int l = line; l >= line - 2 && l >= 1; --l) {
+    const std::string& raw = f.raw_lines[static_cast<std::size_t>(l - 1)];
+    std::smatch m;
+    if (std::regex_search(raw, m, kAnnot)) return m[1].str();
+  }
+  return "";
+}
+
+void rule_sync_channel(const TreeModel& m, std::vector<Finding>& out) {
+  bool any_shm = false;
+  std::string first_shm;
+  for (const SourceFile& f : m.files)
+    if (f.rel.find("src/shm/") != std::string::npos) {
+      if (!any_shm) first_shm = f.rel;
+      any_shm = true;
+    }
+  if (!any_shm) return;
+  if (!m.sync.present()) {
+    out.push_back({"sync-channel", first_shm, 1, "sync_channels",
+                   "src/shm has acquire/release protocols but no "
+                   "src/shm/sync_channels.hpp channel table"});
+    return;
+  }
+  // Drift between the Kind enumerators and the table, both directions.
+  for (const std::string& kind : m.sync.kinds)
+    if (m.sync.kind_channels.count(kind) == 0)
+      out.push_back({"sync-channel", m.sync.table_rel, 1, kind,
+                     "SyncPoint::Kind::" + kind +
+                         " (observer.hpp) has no channel entry in "
+                         "DMR_SYNC_POINT_CHANNELS"});
+  for (const auto& [kind, channel] : m.sync.kind_channels)
+    if (std::find(m.sync.kinds.begin(), m.sync.kinds.end(), kind) ==
+        m.sync.kinds.end())
+      out.push_back({"sync-channel", m.sync.table_rel, 1, kind,
+                     "channel '" + channel + "' names SyncPoint::Kind::" +
+                         kind + " which observer.hpp does not declare"});
+
+  std::map<std::string, ChannelSides> atomic_sides;
+  std::map<std::string, ChannelSides> kind_sides;
+  static const std::regex kOrder(
+      "\\bmemory_order(?:_|::)(acquire|release|acq_rel)\\b");
+  static const std::regex kHook(
+      "on_(acquire|release)\\s*\\(\\s*\\{?\\s*(?:shm::)?SyncPoint\\s*::\\s*"
+      "Kind\\s*::\\s*(k\\w+)");
+  for (const SourceFile& f : m.files) {
+    if (f.rel.find("src/shm/") == std::string::npos) continue;
+    std::set<int> seen_lines;
+    for (std::sregex_iterator
+             it(f.stripped.begin(), f.stripped.end(), kOrder),
+         end;
+         it != end; ++it) {
+      const int line = line_of_offset(
+          f.stripped, static_cast<std::size_t>(it->position()));
+      if (!seen_lines.insert(line).second) continue;
+      const std::string order = (*it)[1].str();
+      const std::string channel = sync_annotation(f, line);
+      if (channel.empty()) {
+        out.push_back(
+            {"sync-channel", f.rel, line, order,
+             "memory_order_" + order +
+                 " site without a `sync: <channel>` annotation naming an "
+                 "entry of src/shm/sync_channels.hpp"});
+        continue;
+      }
+      if (!m.sync.has_channel(channel)) {
+        out.push_back({"sync-channel", f.rel, line, channel,
+                       "`sync: " + channel +
+                           "` names a channel that is not declared in "
+                           "src/shm/sync_channels.hpp"});
+        continue;
+      }
+      ChannelSides& sides = m.sync.atomic_channels.count(channel) != 0
+                                ? atomic_sides[channel]
+                                : kind_sides[channel];
+      if (order == "acquire" || order == "acq_rel") ++sides.acquire;
+      if (order == "release" || order == "acq_rel") ++sides.release;
+    }
+    for (std::sregex_iterator it(f.stripped.begin(), f.stripped.end(), kHook),
+         end;
+         it != end; ++it) {
+      const auto kit = m.sync.kind_channels.find((*it)[2].str());
+      if (kit == m.sync.kind_channels.end()) continue;
+      if ((*it)[1].str() == "acquire") ++kind_sides[kit->second].acquire;
+      else ++kind_sides[kit->second].release;
+    }
+  }
+  for (const auto& [kind, channel] : m.sync.kind_channels) {
+    const ChannelSides sides = kind_sides[channel];
+    if (sides.acquire == 0 || sides.release == 0)
+      out.push_back(
+          {"sync-channel", m.sync.table_rel, 1, channel,
+           "sync-point channel '" + channel + "' (" + kind +
+               ") lacks an " +
+               (sides.acquire == 0 ? std::string("on_acquire")
+                                   : std::string("on_release")) +
+               " site in src/shm — dead table entry or missing "
+               "instrumentation"});
+  }
+  for (const std::string& channel : m.sync.atomic_channels) {
+    const ChannelSides sides = atomic_sides[channel];
+    if (sides.acquire == 0 || sides.release == 0)
+      out.push_back(
+          {"sync-channel", m.sync.table_rel, 1, channel,
+           "atomic channel '" + channel + "' lacks a `sync: " + channel +
+               "`-annotated " +
+               (sides.acquire == 0 ? std::string("acquire")
+                                   : std::string("release")) +
+               " site in src/shm — dead table entry or an unannotated "
+               "pairing"});
+  }
+}
+
+}  // namespace
+
+void run_atomics_rules(const TreeModel& m, std::vector<Finding>& out) {
+  for (const SourceFile& f : m.files) {
+    const auto it = m.unit_atomics.find(f.unit);
+    if (it != m.unit_atomics.end() && !it->second.empty())
+      scan_atomic_uses(f, it->second, out);
+  }
+  rule_sync_channel(m, out);
+}
+
+}  // namespace dmr::analysis

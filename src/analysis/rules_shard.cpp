@@ -1,0 +1,143 @@
+// Shard-safety rules: the enabling gate for the partitioned parallel
+// DES engine (ROADMAP item 1). Every data member of the src/des/
+// engine-state classes must declare its sharding contract
+// (DMR_SHARD_LOCAL: owned by one shard thread; DMR_SHARD_SHARED:
+// crossed between shards), shard-shared state may only be touched
+// inside DMR_CHANNEL_API functions (plus the declaring class's
+// constructors/destructors, which run before the object is shared),
+// and shard-local state may not leak outside its declaring unit.
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+
+namespace dmr::analysis {
+
+namespace {
+
+const char* kShardRoots[] = {"src/des/"};
+
+bool in_shard_root(const std::string& rel) {
+  for (const char* r : kShardRoots)
+    if (rel.rfind(r, 0) == 0 || rel.find(std::string("/") + r) !=
+                                    std::string::npos)
+      return true;
+  return false;
+}
+
+std::vector<std::size_t> word_occurrences(const std::string& s,
+                                          const std::string& name) {
+  std::vector<std::size_t> offs;
+  for (std::size_t pos = s.find(name); pos != std::string::npos;
+       pos = s.find(name, pos + 1)) {
+    if (pos > 0 && is_ident_char(s[pos - 1])) continue;
+    const std::size_t end = pos + name.size();
+    if (end < s.size() && is_ident_char(s[end])) continue;
+    offs.push_back(pos);
+  }
+  return offs;
+}
+
+/// Functions through which shard-shared members of class `cls` may be
+/// touched: DMR_CHANNEL_API-annotated ones plus the class's own
+/// constructors/destructors.
+std::vector<const Function*> allowed_functions(const SourceFile& f,
+                                               const std::string& cls) {
+  std::vector<const Function*> fns;
+  for (const Function& fn : f.functions) {
+    if (fn.header.find("DMR_CHANNEL_API") != std::string::npos ||
+        fn.tail == cls || fn.tail == "~" + cls)
+      fns.push_back(&fn);
+  }
+  return fns;
+}
+
+bool inside_any(const std::vector<const Function*>& fns, std::size_t off) {
+  for (const Function* fn : fns)
+    if (off >= fn->header_off && off < fn->body_end) return true;
+  return false;
+}
+
+void check_unit(const TreeModel& m, const std::string& unit,
+                const std::vector<MemberDecl>& members,
+                std::vector<Finding>& out) {
+  for (const MemberDecl& d : members) {
+    if (d.nested) continue;
+    if (d.shard == MemberDecl::Shard::kNone)
+      out.push_back(
+          {"shard-annotation", d.file, d.line, d.name,
+           "data member '" + d.cls + "::" + d.name +
+               "' lacks a sharding contract — annotate DMR_SHARD_LOCAL "
+               "(owned by one shard thread) or DMR_SHARD_SHARED (crossed "
+               "between shards, channel-API access only)"});
+  }
+  // Shard-shared members: every reference inside the unit must sit in a
+  // DMR_CHANNEL_API function (or the class's ctor/dtor).
+  const auto uit = m.units.find(unit);
+  if (uit == m.units.end()) return;
+  for (const MemberDecl& d : members) {
+    if (d.shard != MemberDecl::Shard::kShared || d.nested) continue;
+    for (const std::size_t fi : uit->second) {
+      const SourceFile& f = m.files[fi];
+      const std::vector<const Function*> allowed =
+          allowed_functions(f, d.cls);
+      for (const std::size_t off : word_occurrences(f.stripped, d.name)) {
+        const int line = line_of_offset(f.stripped, off);
+        // The declaration carries the annotation on its own line.
+        std::size_t lb = f.stripped.rfind('\n', off) + 1;
+        std::size_t le = f.stripped.find('\n', off);
+        if (le == std::string::npos) le = f.stripped.size();
+        if (f.stripped.substr(lb, le - lb).find("DMR_SHARD_") !=
+            std::string::npos)
+          continue;
+        if (inside_any(allowed, off)) continue;
+        out.push_back(
+            {"shard-channel-api", f.rel, line, d.name,
+             "shard-shared member '" + d.cls + "::" + d.name +
+                 "' touched outside a DMR_CHANNEL_API function — "
+                 "cross-shard state must go through a declared channel"});
+      }
+    }
+  }
+  // Shard-local members must not leak outside their declaring unit.
+  for (const MemberDecl& d : members) {
+    if (d.shard != MemberDecl::Shard::kLocal || d.nested) continue;
+    for (std::size_t gi = 0; gi < m.files.size(); ++gi) {
+      const SourceFile& g = m.files[gi];
+      if (g.unit == unit || !in_shard_root(g.rel)) continue;
+      // A unit declaring its own member of the same name is a
+      // different object (eng_, waiters_, ... recur across classes).
+      bool own = false;
+      const auto git = m.unit_members.find(g.unit);
+      if (git != m.unit_members.end())
+        for (const MemberDecl& other : git->second)
+          if (other.name == d.name) { own = true; break; }
+      if (own) continue;
+      for (const std::size_t off : word_occurrences(g.stripped, d.name))
+        out.push_back(
+            {"shard-channel-api", g.rel, line_of_offset(g.stripped, off),
+             d.name,
+             "DMR_SHARD_LOCAL member '" + d.cls + "::" + d.name +
+                 "' (declared in " + d.file +
+                 ") referenced outside its unit — shard-local state must "
+                 "not escape its owning shard"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_shard_rules(const TreeModel& m, std::vector<Finding>& out) {
+  for (const auto& [unit, members] : m.unit_members) {
+    bool shard_unit = false;
+    const auto uit = m.units.find(unit);
+    if (uit != m.units.end())
+      for (const std::size_t fi : uit->second)
+        if (in_shard_root(m.files[fi].rel)) shard_unit = true;
+    if (shard_unit) check_unit(m, unit, members, out);
+  }
+}
+
+}  // namespace dmr::analysis

@@ -26,9 +26,12 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  // Level changes need no ordering with the messages they gate.
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_emit(LogLevel level, std::string_view component,
               std::string_view message) {

@@ -72,6 +72,29 @@
 /// Function returns a reference to the named capability.
 #define DMR_RETURN_CAPABILITY(x) DMR_THREAD_ANNOTATION(lock_returned(x))
 
+// --- Sharding contracts (checked by tools/dmr_verify, not the compiler) ---
+//
+// The partitioned parallel DES engine (ROADMAP item 1) splits engine
+// state across shard threads. These macros declare, on each data member
+// of the src/des/ engine classes, which side of that split it lives on;
+// they expand to nothing on every compiler and are consumed textually
+// by dmr_verify's shard-safety rules:
+//  - every data member in src/des/ must carry exactly one of the two
+//    state annotations (rule shard-annotation);
+//  - DMR_SHARD_SHARED members may only be touched inside functions
+//    marked DMR_CHANNEL_API, plus the declaring class's constructors
+//    and destructors (rule shard-channel-api);
+//  - DMR_SHARD_LOCAL members must not be referenced outside their
+//    declaring unit (same rule).
+
+/// Member is owned by a single shard thread; no cross-shard access.
+#define DMR_SHARD_LOCAL
+/// Member crosses shards; access only through DMR_CHANNEL_API functions.
+#define DMR_SHARD_SHARED
+/// Function is a declared cross-shard channel endpoint and may touch
+/// DMR_SHARD_SHARED members.
+#define DMR_CHANNEL_API
+
 namespace dmr {
 
 /// std::mutex with the capability attributes Clang's analysis needs.

@@ -118,7 +118,7 @@ DamarisNode::~DamarisNode() {
   // Submission workers exist independently of started_ and hold
   // references into the buffer and queues: retire them first.
   stop_async_workers();
-  if (started_) {
+  if (started_.load(std::memory_order_acquire)) {
     for (auto& shard : shards_) shard->queue.close();
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
@@ -132,7 +132,8 @@ std::uint32_t DamarisNode::name_id(const std::string& name) const {
 }
 
 Status DamarisNode::start() {
-  if (started_) return failed_precondition("node already started");
+  if (started_.load(std::memory_order_acquire))
+    return failed_precondition("node already started");
   // Instantiate the <plugins> in-situ chain before any shard thread
   // exists: a bad declaration (unknown type) fails start() instead of
   // surfacing mid-run. Rebuilt on every start so a restarted node gets
@@ -144,7 +145,7 @@ Status DamarisNode::start() {
   } else {
     block_plugins_.reset();
   }
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   start_time_ = Clock::now();
   for (auto& shard : shards_) {
     Shard* s = shard.get();
@@ -156,7 +157,8 @@ Status DamarisNode::start() {
 Client DamarisNode::client(int id) { return Client(this, id); }
 
 Status DamarisNode::stop() {
-  if (!started_) return failed_precondition("node not started");
+  if (!started_.load(std::memory_order_acquire))
+    return failed_precondition("node not started");
   // Drain queued async submissions while the servers can still consume
   // them, then close the shard queues.
   stop_async_workers();
@@ -164,7 +166,7 @@ Status DamarisNode::stop() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
-  started_ = false;
+  started_.store(false, std::memory_order_release);
   if (checker_) {
     const auto violations = checker_->finalize();
     for (const auto& v : violations) {

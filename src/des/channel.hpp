@@ -11,6 +11,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "des/engine.hpp"
 
 namespace dmr::des {
@@ -27,7 +28,7 @@ class Channel {
    public:
     explicit RecvAwaiter(Channel* ch) : ch_(ch) {}
 
-    bool await_ready() {
+    DMR_CHANNEL_API bool await_ready() {
       if (!ch_->items_.empty()) {
         value_ = std::move(ch_->items_.front());
         ch_->items_.pop_front();
@@ -35,7 +36,7 @@ class Channel {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) {
+    DMR_CHANNEL_API void await_suspend(std::coroutine_handle<> h) {
       ch_->waiters_.push_back({h, this});
     }
     T await_resume() {
@@ -50,10 +51,10 @@ class Channel {
   };
 
   /// Awaitable receive.
-  RecvAwaiter recv() { return RecvAwaiter(this); }
+  DMR_CHANNEL_API RecvAwaiter recv() { return RecvAwaiter(this); }
 
   /// Non-suspending send.
-  void send(T value) {
+  DMR_CHANNEL_API void send(T value) {
     if (!waiters_.empty()) {
       Waiter w = waiters_.front();
       waiters_.pop_front();
@@ -65,10 +66,12 @@ class Channel {
   }
 
   /// Number of queued (unconsumed) values.
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  DMR_CHANNEL_API std::size_t size() const { return items_.size(); }
+  DMR_CHANNEL_API bool empty() const { return items_.empty(); }
   /// Number of processes blocked in recv().
-  std::size_t waiting_receivers() const { return waiters_.size(); }
+  DMR_CHANNEL_API std::size_t waiting_receivers() const {
+    return waiters_.size();
+  }
 
  private:
   struct Waiter {
@@ -76,9 +79,9 @@ class Channel {
     RecvAwaiter* awaiter;
   };
 
-  Engine* eng_;
-  std::deque<T> items_;
-  std::deque<Waiter> waiters_;
+  DMR_SHARD_LOCAL Engine* eng_;
+  DMR_SHARD_SHARED std::deque<T> items_;
+  DMR_SHARD_SHARED std::deque<Waiter> waiters_;
 };
 
 }  // namespace dmr::des

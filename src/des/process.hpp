@@ -19,6 +19,8 @@
 #include <exception>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
+
 namespace dmr::des {
 
 class Engine;
@@ -67,7 +69,7 @@ class Process {
     }
   }
 
-  std::coroutine_handle<promise_type> handle_;
+  DMR_SHARD_LOCAL std::coroutine_handle<promise_type> handle_;
 };
 
 }  // namespace dmr::des

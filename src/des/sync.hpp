@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "des/engine.hpp"
 
 namespace dmr::des {
@@ -22,7 +23,7 @@ class Latch {
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
-  void count_down(std::size_t n = 1) {
+  DMR_CHANNEL_API void count_down(std::size_t n = 1) {
     assert(count_ >= n);
     count_ -= n;
     if (count_ == 0) {
@@ -31,11 +32,11 @@ class Latch {
     }
   }
 
-  auto wait() {
+  DMR_CHANNEL_API auto wait() {
     struct Awaiter {
       Latch* latch;
-      bool await_ready() const { return latch->count_ == 0; }
-      void await_suspend(std::coroutine_handle<> h) {
+      DMR_CHANNEL_API bool await_ready() const { return latch->count_ == 0; }
+      DMR_CHANNEL_API void await_suspend(std::coroutine_handle<> h) {
         latch->waiters_.push_back(h);
       }
       void await_resume() const {}
@@ -43,12 +44,12 @@ class Latch {
     return Awaiter{this};
   }
 
-  std::size_t pending() const { return count_; }
+  DMR_CHANNEL_API std::size_t pending() const { return count_; }
 
  private:
-  Engine* eng_;
-  std::size_t count_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  DMR_SHARD_LOCAL Engine* eng_;
+  DMR_SHARD_SHARED std::size_t count_;
+  DMR_SHARD_SHARED std::vector<std::coroutine_handle<>> waiters_;
 };
 
 /// Counting semaphore: acquire() suspends while no permits are
@@ -61,17 +62,17 @@ class Semaphore {
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
-  auto acquire() {
+  DMR_CHANNEL_API auto acquire() {
     struct Awaiter {
       Semaphore* sem;
-      bool await_ready() {
+      DMR_CHANNEL_API bool await_ready() {
         if (sem->permits_ > 0) {
           --sem->permits_;
           return true;
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) {
+      DMR_CHANNEL_API void await_suspend(std::coroutine_handle<> h) {
         sem->waiters_.push_back(h);
       }
       void await_resume() const {}
@@ -81,7 +82,7 @@ class Semaphore {
 
   /// Releases one permit; a waiter (if any) resumes at the current time
   /// already holding it.
-  void release() {
+  DMR_CHANNEL_API void release() {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.erase(waiters_.begin());
@@ -91,13 +92,13 @@ class Semaphore {
     }
   }
 
-  int available() const { return permits_; }
-  std::size_t waiting() const { return waiters_.size(); }
+  DMR_CHANNEL_API int available() const { return permits_; }
+  DMR_CHANNEL_API std::size_t waiting() const { return waiters_.size(); }
 
  private:
-  Engine* eng_;
-  int permits_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  DMR_SHARD_LOCAL Engine* eng_;
+  DMR_SHARD_SHARED int permits_;
+  DMR_SHARD_SHARED std::vector<std::coroutine_handle<>> waiters_;
 };
 
 /// Cyclic barrier for a fixed group of processes. arrive_and_wait()
@@ -113,10 +114,10 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  auto arrive_and_wait() {
+  DMR_CHANNEL_API auto arrive_and_wait() {
     struct Awaiter {
       Barrier* b;
-      bool await_ready() {
+      DMR_CHANNEL_API bool await_ready() {
         if (b->arrived_ + 1 == b->parties_) {
           // Last arrival: release everyone at the current time.
           b->arrived_ = 0;
@@ -128,7 +129,7 @@ class Barrier {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) {
+      DMR_CHANNEL_API void await_suspend(std::coroutine_handle<> h) {
         ++b->arrived_;
         b->waiters_.push_back(h);
       }
@@ -137,13 +138,13 @@ class Barrier {
     return Awaiter{this};
   }
 
-  std::size_t parties() const { return parties_; }
+  DMR_CHANNEL_API std::size_t parties() const { return parties_; }
 
  private:
-  Engine* eng_;
-  std::size_t parties_;
-  std::size_t arrived_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  DMR_SHARD_LOCAL Engine* eng_;
+  DMR_SHARD_SHARED std::size_t parties_;
+  DMR_SHARD_SHARED std::size_t arrived_;
+  DMR_SHARD_SHARED std::vector<std::coroutine_handle<>> waiters_;
 };
 
 }  // namespace dmr::des

@@ -18,6 +18,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
+
 namespace dmr::des {
 
 template <typename T = void>
@@ -27,7 +29,7 @@ namespace detail {
 
 template <typename T>
 struct TaskPromiseBase {
-  std::coroutine_handle<> continuation;
+  DMR_SHARD_LOCAL std::coroutine_handle<> continuation;
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -90,7 +92,7 @@ class Task {
       handle_ = nullptr;
     }
   }
-  std::coroutine_handle<promise_type> handle_;
+  DMR_SHARD_LOCAL std::coroutine_handle<promise_type> handle_;
 };
 
 template <>
@@ -131,7 +133,7 @@ class Task<void> {
       handle_ = nullptr;
     }
   }
-  std::coroutine_handle<promise_type> handle_;
+  DMR_SHARD_LOCAL std::coroutine_handle<promise_type> handle_;
 };
 
 }  // namespace dmr::des

@@ -153,6 +153,7 @@ void HbRaceDetector::on_acquire(const shm::SyncPoint& sync) {
   MutexLock lock(mutex_);
   const int tid = current_locked();
   thread_clocks_[tid].join(sync_clocks_[sync_key(sync)]);
+  ++channel_stats_[shm::sync_channel_name(sync.kind)].acquires;
 }
 
 void HbRaceDetector::on_release(const shm::SyncPoint& sync) {
@@ -163,6 +164,13 @@ void HbRaceDetector::on_release(const shm::SyncPoint& sync) {
   // is entitled to.
   sync_clocks_[sync_key(sync)].join(thread_clocks_[tid]);
   thread_clocks_[tid].tick(tid);
+  ++channel_stats_[shm::sync_channel_name(sync.kind)].releases;
+}
+
+std::map<std::string, HbRaceDetector::ChannelStats>
+HbRaceDetector::channel_stats() const {
+  MutexLock lock(mutex_);
+  return channel_stats_;
 }
 
 std::vector<RaceReport> HbRaceDetector::races() const {
@@ -177,10 +185,17 @@ std::size_t HbRaceDetector::race_count() const {
 
 std::string HbRaceDetector::report() const {
   MutexLock lock(mutex_);
-  if (races_.empty()) return "no data races\n";
   std::ostringstream os;
-  os << races_.size() << " data race(s):\n";
-  for (const RaceReport& r : races_) os << "  " << r.to_string() << "\n";
+  if (races_.empty()) {
+    os << "no data races\n";
+  } else {
+    os << races_.size() << " data race(s):\n";
+    for (const RaceReport& r : races_) os << "  " << r.to_string() << "\n";
+  }
+  for (const auto& [channel, stats] : channel_stats_) {
+    os << "  sync channel " << channel << ": " << stats.acquires
+       << " acquire(s), " << stats.releases << " release(s)\n";
+  }
   return os.str();
 }
 

@@ -29,6 +29,7 @@
 // checker, not a hot path.
 #pragma once
 
+#include <map>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -39,6 +40,7 @@
 #include "mc/vector_clock.hpp"
 #include "shm/observer.hpp"
 #include "shm/shared_buffer.hpp"
+#include "shm/sync_channels.hpp"
 
 namespace dmr::mc {
 
@@ -97,7 +99,19 @@ class HbRaceDetector : public shm::ShmObserver {
   std::vector<RaceReport> races() const;
   std::size_t race_count() const;
 
-  /// "no data races" or one line per race pair.
+  /// Acquire/release counts per synchronization channel, keyed by the
+  /// channel names of src/shm/sync_channels.hpp — the same table the
+  /// dmr_verify sync-channel rule checks statically, so a channel that
+  /// never fires at runtime and a channel the analyzer calls dead point
+  /// at the same table entry. std::map: report output is serialized.
+  struct ChannelStats {
+    int acquires = 0;
+    int releases = 0;
+  };
+  std::map<std::string, ChannelStats> channel_stats() const;
+
+  /// "no data races" or one line per race pair, followed by the
+  /// per-channel edge counts.
   std::string report() const;
 
  private:
@@ -122,6 +136,7 @@ class HbRaceDetector : public shm::ShmObserver {
       DMR_GUARDED_BY(mutex_);
   std::vector<Access> accesses_ DMR_GUARDED_BY(mutex_);
   std::vector<RaceReport> races_ DMR_GUARDED_BY(mutex_);
+  std::map<std::string, ChannelStats> channel_stats_ DMR_GUARDED_BY(mutex_);
   int forced_tid_ DMR_GUARDED_BY(mutex_) = -1;
   const char* context_op_ DMR_GUARDED_BY(mutex_) = "?";
   int context_step_ DMR_GUARDED_BY(mutex_) = -1;

@@ -81,13 +81,13 @@ class EventQueue {
   /// observer must outlive the queue or be detached first. Effective
   /// only in DMR_CHECK builds.
   void set_observer(ShmObserver* obs) {
-    observer_.store(obs, std::memory_order_release);
+    observer_.store(obs, std::memory_order_release);  // sync: queue_observer
   }
 
  private:
   ShmObserver* observer() const {
 #ifdef DMR_CHECK
-    return observer_.load(std::memory_order_acquire);
+    return observer_.load(std::memory_order_acquire);  // sync: queue_observer
 #else
     return nullptr;
 #endif

@@ -47,6 +47,11 @@ struct SyncPoint {
   int index = -1;                // partition's client id, else -1
 };
 
+/// Number of SyncPoint::Kind enumerators. sync_channels.hpp
+/// static_asserts its channel table against this so the table cannot
+/// silently fall out of step when a kind is added.
+inline constexpr int kNumSyncPointKinds = 3;
+
 class ShmObserver {
  public:
   virtual ~ShmObserver() = default;

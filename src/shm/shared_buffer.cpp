@@ -73,7 +73,7 @@ Result<Block> SharedBuffer::allocate(Bytes size, int client_id) {
     return invalid_argument("client_id out of range");
   }
   if (const fault::FaultInjector* inj =
-          fault_.load(std::memory_order_acquire)) {
+          fault_.load(std::memory_order_acquire)) {  // sync: buffer_fault
     const std::uint64_t seq = fault_seq_[static_cast<std::size_t>(client_id)]
                                   .fetch_add(1, std::memory_order_relaxed);
     if (inj->fires_rate(fault::Site::kShmExhaust,
@@ -177,7 +177,7 @@ Result<Block> SharedBuffer::allocate_partitioned(Bytes size, int client_id) {
   }
   // Only this client bumps this partition's head, so plain loads suffice
   // for the decision; the server only ever decrements `live`.
-  if (p.live.load(std::memory_order_acquire) == 0) {
+  if (p.live.load(std::memory_order_acquire) == 0) {  // sync: partition_live
     // Everything previously handed to the server was consumed: rewind.
     p.head.store(0, std::memory_order_relaxed);
   }
@@ -188,7 +188,7 @@ Result<Block> SharedBuffer::allocate_partitioned(Bytes size, int client_id) {
                          " full");
   }
   p.head.store(h + size, std::memory_order_relaxed);
-  p.live.fetch_add(size, std::memory_order_release);
+  p.live.fetch_add(size, std::memory_order_release);  // sync: partition_live
   account_alloc(size);
   return Block{p.base + h, size, client_id};
 }
@@ -198,7 +198,7 @@ void SharedBuffer::deallocate_partitioned(const Block& block) {
   if (ShmObserver* o = observer()) {
     o->on_release({SyncPoint::Kind::kPartition, &p, block.client_id});
   }
-  p.live.fetch_sub(block.size, std::memory_order_release);
+  p.live.fetch_sub(block.size, std::memory_order_release);  // sync: partition_live
   account_free(block.size);
 }
 

@@ -88,7 +88,7 @@ class SharedBuffer {
   /// observer must outlive the buffer or be detached first. Effective
   /// only in DMR_CHECK builds.
   void set_observer(ShmObserver* obs) {
-    observer_.store(obs, std::memory_order_release);
+    observer_.store(obs, std::memory_order_release);  // sync: buffer_observer
   }
 
   /// Attaches (or detaches, with nullptr) a fault injector: rate-based
@@ -97,7 +97,7 @@ class SharedBuffer {
   /// a deterministic call sequence replays the same failures. The
   /// injector must outlive the buffer or be detached first.
   void set_fault_injector(const fault::FaultInjector* injector) {
-    fault_.store(injector, std::memory_order_release);
+    fault_.store(injector, std::memory_order_release);  // sync: buffer_fault
   }
 
   /// Pointer to the block's memory.
@@ -124,7 +124,7 @@ class SharedBuffer {
  private:
   ShmObserver* observer() const {
 #ifdef DMR_CHECK
-    return observer_.load(std::memory_order_acquire);
+    return observer_.load(std::memory_order_acquire);  // sync: buffer_observer
 #else
     return nullptr;
 #endif

@@ -1,0 +1,84 @@
+// The shared-memory layer's synchronization-channel table — the single
+// machine-readable description of every acquire/release protocol in
+// src/shm, consumed by BOTH ends of the verification stack:
+//
+//  - mc::HbRaceDetector reads it (sync_channel_name) to label the
+//    happens-before edges it tracks at runtime;
+//  - tools/dmr_verify reads it textually (it is an X-macro list, no
+//    preprocessor tricks beyond token pasting) and cross-checks that
+//    every memory_order_acquire/release site in src/shm carries a
+//    `sync: <channel>` comment naming an entry here, and that every
+//    entry has both an acquire and a release side somewhere in the
+//    tree — a dead entry means the table drifted from the code.
+//
+// Two entry families:
+//
+//  DMR_SYNC_POINT_CHANNELS — channels backed by a SyncPoint::Kind
+//  (observer.hpp): the runtime race detector sees these through
+//  on_acquire/on_release hooks. X(kind_enumerator, channel_name).
+//
+//  DMR_ATOMIC_CHANNELS — pure atomic acquire/release pairs with no
+//  SyncPoint (observer/fault-injector publication pointers): only the
+//  static analyzer checks these. X(channel_name).
+//
+// Adding a protocol: add the entry here, annotate the acquire AND the
+// release site with `// sync: <channel>`, and (for a new Kind) bump
+// kNumSyncPointKinds in observer.hpp — the static_asserts below and
+// the dmr_verify sync-channel rule each fail loudly on a half-done
+// rollout.
+#pragma once
+
+#include "shm/observer.hpp"
+
+// clang-format off
+/// SyncPoint-backed channels: X(kind, channel).
+///  - queue_mutex:    EventQueue's mutex+condvar critical sections
+///    (push/pop/try_pop/close).
+///  - buffer_mutex:   the first-fit allocator's mutex.
+///  - partition_live: partitioned-policy per-client `live` counter —
+///    deallocate's fetch_sub(release) pairs with allocate's
+///    load(acquire) to make partition rewind safe.
+#define DMR_SYNC_POINT_CHANNELS(X) \
+  X(kQueueMutex,  queue_mutex)     \
+  X(kBufferMutex, buffer_mutex)    \
+  X(kPartition,   partition_live)
+
+/// Atomic-only channels: X(channel).
+///  - queue_observer:  EventQueue::observer_ publication pointer.
+///  - buffer_observer: SharedBuffer::observer_ publication pointer.
+///  - buffer_fault:    SharedBuffer::fault_ injector publication pointer.
+#define DMR_ATOMIC_CHANNELS(X) \
+  X(queue_observer)            \
+  X(buffer_observer)           \
+  X(buffer_fault)
+// clang-format on
+
+namespace dmr::shm {
+
+namespace detail {
+#define DMR_SYNC_COUNT(kind, channel) +1
+inline constexpr int kSyncPointChannelCount =
+    0 DMR_SYNC_POINT_CHANNELS(DMR_SYNC_COUNT);
+#undef DMR_SYNC_COUNT
+}  // namespace detail
+
+static_assert(detail::kSyncPointChannelCount == kNumSyncPointKinds,
+              "sync_channels.hpp: DMR_SYNC_POINT_CHANNELS must cover every "
+              "SyncPoint::Kind exactly once (update the table and "
+              "kNumSyncPointKinds together)");
+
+/// Channel name for a SyncPoint kind, as listed in
+/// DMR_SYNC_POINT_CHANNELS. Used by the runtime race detector's report
+/// so its output names the same channels the static analyzer checks.
+constexpr const char* sync_channel_name(SyncPoint::Kind kind) {
+  switch (kind) {
+#define DMR_SYNC_NAME(k, channel)  \
+  case SyncPoint::Kind::k:         \
+    return #channel;
+    DMR_SYNC_POINT_CHANNELS(DMR_SYNC_NAME)
+#undef DMR_SYNC_NAME
+  }
+  return "?";
+}
+
+}  // namespace dmr::shm

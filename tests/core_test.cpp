@@ -209,6 +209,21 @@ TEST_F(NodeFixture, StatsPluginPublishesAnalytics) {
   EXPECT_GT(analytics["temperature.mean"], 0.0);
 }
 
+// Analytics are consumed in serialized form (vis/render tables, the
+// steering loop's published keys): pin the sorted-key contract so a
+// switch to a hash map can never leak seed-dependent order downstream.
+TEST_F(NodeFixture, AnalyticsIterateInSortedKeyOrder) {
+  node_->publish_analytic("zeta.max", 3.0);
+  node_->publish_analytic("alpha.mean", 1.0);
+  node_->publish_analytic("mid.min", 2.0);
+  node_->publish_analytic("alpha.max", 4.0);
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : node_->analytics()) keys.push_back(key);
+  const std::vector<std::string> want = {"alpha.max", "alpha.mean", "mid.min",
+                                         "zeta.max"};
+  EXPECT_EQ(keys, want);
+}
+
 TEST_F(NodeFixture, CustomPluginRuns) {
   std::atomic<int> calls{0};
   node_->plugins().register_action("do_something",

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -228,6 +229,43 @@ TEST(McRace, OverlapFromDoubleReleaseCorruptionIsARace) {
   ASSERT_EQ(det.race_count(), 1u);
   EXPECT_NE(det.races()[0].to_string().find("client-0"), std::string::npos);
   EXPECT_NE(det.races()[0].to_string().find("client-1"), std::string::npos);
+}
+
+// ------------------------------------------------------- Sync channels
+
+// Drift guard for the shared channel table: sync_channels.hpp is
+// consumed by this detector at runtime AND parsed textually by
+// tools/dmr_verify; every SyncPoint::Kind must map to a distinct,
+// non-placeholder channel name or the two views diverge silently.
+TEST(McSyncChannels, EveryKindHasAUniqueChannelName) {
+  std::vector<std::string> names;
+  for (int i = 0; i < shm::kNumSyncPointKinds; ++i) {
+    const char* name =
+        shm::sync_channel_name(static_cast<shm::SyncPoint::Kind>(i));
+    EXPECT_STRNE(name, "?") << "kind " << i << " missing from the table";
+    names.emplace_back(name);
+  }
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::unique(sorted.begin(), sorted.end()) == sorted.end())
+      << joined(names);
+}
+
+TEST(McSyncChannels, RaceDetectorCountsEdgesPerChannel) {
+  HbRaceDetector det;
+  int dummy = 0;
+  det.on_acquire({shm::SyncPoint::Kind::kQueueMutex, &dummy});
+  det.on_release({shm::SyncPoint::Kind::kQueueMutex, &dummy});
+  det.on_release({shm::SyncPoint::Kind::kPartition, &dummy, 0});
+  auto stats = det.channel_stats();
+  EXPECT_EQ(stats["queue_mutex"].acquires, 1);
+  EXPECT_EQ(stats["queue_mutex"].releases, 1);
+  EXPECT_EQ(stats["partition_live"].acquires, 0);
+  EXPECT_EQ(stats["partition_live"].releases, 1);
+  EXPECT_NE(
+      det.report().find("sync channel queue_mutex: 1 acquire(s), 1 release(s)"),
+      std::string::npos)
+      << det.report();
 }
 
 // ---------------------------------------------------- Scheduler mechanics

@@ -116,6 +116,82 @@ TEST(Snapshot, SerializesToOneParsableLine) {
                                        iopath::kNumStageKinds));
 }
 
+// Byte-exact golden: the wire format is a determinism sink (clients
+// diff snapshots, the equivalence suite hashes them), so field order
+// and number rendering are pinned here. If this test fails because the
+// format deliberately changed, update the golden string AND bump the
+// protocol notes in src/monitor/snapshot.hpp.
+TEST(Snapshot, GoldenByteExactSerialization) {
+  MonitorSnapshot s;
+  s.sequence = 9;
+  s.uptime_seconds = 1.5;
+  s.source = "golden";
+  s.iterations = 3;
+  s.shards = 2;
+  s.clients = 4;
+  s.spare_fraction = 0.5;
+  s.write_jitter.count = 2;
+  s.write_jitter.mean = 0.01;
+  s.write_jitter.stddev = 0.001;
+  s.write_jitter.min = 0.009;
+  s.write_jitter.p50 = 0.01;
+  s.write_jitter.p95 = 0.011;
+  s.write_jitter.max = 0.011;
+  s.write_jitter.spread = 0.002;
+  s.degrade_mode = "normal";
+  s.degrade.pressure_events = 1;
+  s.degrade.escalations = 0;
+  s.degrade.recoveries = 0;
+  s.ledger_valid = true;
+  s.ledger.published = 6;
+  s.ledger.persisted = 5;
+  s.ledger.superseded = 1;
+  s.ledger.failed_persists = 0;
+  s.ledger.sync_written = 2;
+  s.ledger.dropped = 0;
+  s.ledger.failed_writes = 0;
+  s.ledger.retries = 0;
+  s.outstanding_tickets = 1;
+  s.plugin_seconds = 0.25;
+  plugin::PluginStats p;
+  p.name = "stats";
+  p.iterations = 3;
+  p.blocks = 6;
+  p.bytes = 4096;
+  p.seconds = 0.25;
+  p.max_iteration_seconds = 0.1;
+  p.errors = 0;
+  p.overruns = 0;
+  p.disabled = false;
+  s.plugins.push_back(p);
+  s.alerts.push_back("slo: write p95 11ms > 10ms");
+  EXPECT_EQ(
+      s.to_json(),
+      "{\"type\":\"snapshot\",\"seq\":9,\"uptime_s\":1.5,"
+      "\"source\":\"golden\",\"iterations\":3,\"shards\":2,\"clients\":4,"
+      "\"spare_fraction\":0.5,\"write_jitter\":{\"count\":2,\"mean\":0.01,"
+      "\"stddev\":0.001,\"min\":0.009,\"p50\":0.01,\"p95\":0.011,"
+      "\"max\":0.011,\"spread\":0.002},\"degrade\":{\"mode\":\"normal\","
+      "\"pressure_events\":1,\"escalations\":0,\"recoveries\":0},"
+      "\"ledger\":{\"published\":6,\"persisted\":5,\"superseded\":1,"
+      "\"failed_persists\":0,\"sync_written\":2,\"dropped\":0,"
+      "\"failed_writes\":0,\"retries\":0},\"stages\":["
+      "{\"stage\":\"ingest\",\"ops\":0,\"seconds\":0,\"bytes_in\":0,"
+      "\"bytes_out\":0},"
+      "{\"stage\":\"transform\",\"ops\":0,\"seconds\":0,\"bytes_in\":0,"
+      "\"bytes_out\":0},"
+      "{\"stage\":\"schedule\",\"ops\":0,\"seconds\":0,\"bytes_in\":0,"
+      "\"bytes_out\":0},"
+      "{\"stage\":\"transport\",\"ops\":0,\"seconds\":0,\"bytes_in\":0,"
+      "\"bytes_out\":0},"
+      "{\"stage\":\"storage\",\"ops\":0,\"seconds\":0,\"bytes_in\":0,"
+      "\"bytes_out\":0}],\"outstanding_tickets\":1,\"plugin_seconds\":0.25,"
+      "\"plugins\":[{\"name\":\"stats\",\"iterations\":3,\"blocks\":6,"
+      "\"bytes\":4096,\"seconds\":0.25,\"max_iteration_seconds\":0.1,"
+      "\"errors\":0,\"overruns\":0,\"disabled\":false}],"
+      "\"alerts\":[\"slo: write p95 11ms > 10ms\"]}");
+}
+
 TEST(Snapshot, LedgerIsNullWithoutChecker) {
   MonitorSnapshot s = sample_snapshot();
   s.ledger_valid = false;

@@ -1,0 +1,21 @@
+// Fixture: two atomic-implicit-order shapes — a member op with no
+// memory_order argument and a bare use through the implicit seq_cst
+// conversion. The explicit-acquire sibling must stay clean.
+#include <atomic>
+#include <cstdint>
+
+namespace demo {
+
+class Counter {
+ public:
+  void bump() { n_.fetch_add(1); }
+  std::uint64_t read() const { return n_; }
+  std::uint64_t snap() const {
+    return n_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: relaxed orderings that demand an allowlist justification.
+#include <atomic>
+
+namespace demo {
+
+class Gauge {
+ public:
+  void set(int v) { v_.store(v, std::memory_order_relaxed); }
+  int get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> v_{0};
+};
+
+}  // namespace demo

@@ -1,0 +1,30 @@
+// Clean fixture: ordered iteration into a digest, explicit memory
+// orders everywhere, no pointer keys, no wall-clock reads in sim code.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace demo {
+
+std::uint64_t fnv1a(const std::string& s);
+
+class Stats {
+ public:
+  std::uint64_t digest() const {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const auto& kv : cells_) h ^= fnv1a(kv.first);
+    return h;
+  }
+
+  void bump() { hits_.fetch_add(1, std::memory_order_seq_cst); }
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::map<std::string, double> cells_;
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Fixture: one det-pointer-key hit (raw-pointer key, default
+// comparator); a map with an explicit comparator and a map carrying a
+// pointer as VALUE must both stay clean.
+#include <map>
+
+namespace demo {
+
+struct Node;
+struct NodeIdLess;
+
+struct Registry {
+  std::map<Node*, int> by_addr_;
+  std::map<Node*, int, NodeIdLess> by_id_;
+  std::map<int, Node*> by_rank_;
+};
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+// Fixture: stray_ lacks a sharding contract (shard-annotation) and the
+// shard-shared slots_ is read by the un-annotated peek()
+// (shard-channel-api); the annotated post() is fine.
+#pragma once
+
+namespace demo {
+
+class Mailbox {
+ public:
+  DMR_CHANNEL_API void post(int v) { slots_ = v; }
+  int peek() const { return slots_; }
+  int local_seq() const { return seq_; }
+
+ private:
+  DMR_SHARD_SHARED int slots_ = 0;
+  DMR_SHARD_LOCAL int seq_ = 0;
+  int stray_ = 0;
+};
+
+}  // namespace demo

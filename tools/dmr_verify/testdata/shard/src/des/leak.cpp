@@ -1,0 +1,9 @@
+// Fixture: a different unit in the shard root reaching into the
+// DMR_SHARD_LOCAL seq_ — shard-local state must not escape its unit.
+#include "des/chan.hpp"
+
+namespace demo {
+
+int steal(Mailbox& m) { return m.seq_; }
+
+}  // namespace demo

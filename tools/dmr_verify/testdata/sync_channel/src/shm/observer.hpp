@@ -1,0 +1,12 @@
+// Fixture observer: declares the sync-point kinds. kOrphan has no
+// entry in sync_channels.hpp and must be reported as table drift.
+#pragma once
+
+namespace demo {
+
+struct SyncPoint {
+  enum class Kind { kQueueMutex, kOrphan };
+  int id = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,43 @@
+// Fixture sites: flag_channel is fully annotated on both sides and the
+// kQueueMutex hooks cover queue_mutex; the other_ load lacks an
+// annotation and other2_ names a channel the table does not declare.
+#include <atomic>
+
+#include "shm/observer.hpp"
+
+namespace demo {
+
+struct Detector {
+  void on_acquire(SyncPoint p);
+  void on_release(SyncPoint p);
+};
+
+std::atomic<int> flag_{0};
+std::atomic<int> other_{0};
+std::atomic<int> other2_{0};
+
+void lock_queue(Detector& det) {
+  det.on_acquire({SyncPoint::Kind::kQueueMutex, 0});
+}
+
+void unlock_queue(Detector& det) {
+  det.on_release({SyncPoint::Kind::kQueueMutex, 0});
+}
+
+void publish_flag() {
+  flag_.store(1, std::memory_order_release);  // sync: flag_channel
+}
+
+int read_flag() {
+  return flag_.load(std::memory_order_acquire);  // sync: flag_channel
+}
+
+int read_unannotated() {
+  return other_.load(std::memory_order_acquire);
+}
+
+int read_bogus() {
+  return other2_.load(std::memory_order_acquire);  // sync: bogus
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Fixture channel table. kGhost is not declared by observer.hpp
+// (drift, opposite direction) and ghost_mutex/dead_channel have no
+// instrumented sites (dead entries).
+#pragma once
+
+#define DMR_SYNC_POINT_CHANNELS(X) \
+  X(kQueueMutex, queue_mutex)      \
+  X(kGhost, ghost_mutex)
+
+#define DMR_ATOMIC_CHANNELS(X) \
+  X(flag_channel)              \
+  X(dead_channel)

@@ -1,0 +1,12 @@
+// Fixture: src/shm code with an acquire/release protocol but no
+// sync_channels.hpp table — the analyzer must demand one.
+#include <atomic>
+
+namespace demo {
+
+std::atomic<int> ready_{0};
+
+int wait_ready() { return ready_.load(std::memory_order_acquire); }
+void publish() { ready_.store(1, std::memory_order_release); }
+
+}  // namespace demo

@@ -1,0 +1,37 @@
+// Fixture: three det-unordered-sink shapes — a sink called inside the
+// loop, a floating-point accumulation, and a tainted variable reaching
+// a sink after the loop.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace demo {
+
+std::uint64_t fnv1a(const std::string& s);
+std::string to_json(const std::string& s);
+
+struct Agg {
+  std::unordered_map<std::string, double> cells_;
+
+  std::uint64_t digest_all() {
+    std::uint64_t h = 0;
+    for (const auto& kv : cells_) {
+      h ^= fnv1a(kv.first);
+    }
+    return h;
+  }
+
+  double total() {
+    double sum = 0.0;
+    for (const auto& kv : cells_) sum += kv.second;
+    return sum;
+  }
+
+  std::string flat() {
+    std::string out;
+    for (const auto& kv : cells_) out.append(kv.first);
+    return to_json(out);
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Fixture: a src/des function (simulated time) whose call chain
+// reaches a wall-clock read two hops away — det-wall-in-sim must
+// report the full path.
+namespace demo {
+
+double jitter_probe();
+
+void step_engine() {
+  const double j = jitter_probe();
+  (void)j;
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace demo {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double jitter_probe() { return wall_seconds(); }
+
+}  // namespace demo
