@@ -8,6 +8,7 @@
 #   scripts/check.sh --chaos    # ... plus the fixed-seed fault matrix
 #   scripts/check.sh --sched    # ... plus the adaptive-scheduler gate
 #   scripts/check.sh --plugins  # ... plus the in-situ analytics gate
+#   scripts/check.sh --facility # ... plus the multi-tenant facility gate
 #   scripts/check.sh --static   # ... plus the static gates: dmr_lint +
 #                               #     -Wthread-safety build (Clang only)
 #   scripts/check.sh --verify   # ... plus dmr_verify, the dataflow-level
@@ -29,6 +30,7 @@ RUN_MODEL=0
 RUN_CHAOS=0
 RUN_SCHED=0
 RUN_PLUGINS=0
+RUN_FACILITY=0
 RUN_STATIC=0
 RUN_VERIFY=0
 for arg in "$@"; do
@@ -39,6 +41,7 @@ for arg in "$@"; do
     --chaos) RUN_CHAOS=1 ;;
     --sched) RUN_SCHED=1 ;;
     --plugins) RUN_PLUGINS=1 ;;
+    --facility) RUN_FACILITY=1 ;;
     --static) RUN_STATIC=1 ;;
     --verify) RUN_VERIFY=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -205,6 +208,21 @@ if [ "$RUN_PLUGINS" = 1 ]; then
   cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-mc -j "$JOBS" --target bench_plugin
   ./build-mc/bench/bench_plugin build-mc/BENCH_plugin.json --check
+fi
+
+# ---------------------------------------------- multi-tenant facility
+# Facility layer (bench_facility --check): the sharded metadata service
+# must give >= 2x aggregate throughput over the serialized single MDS
+# under a 64-tenant file-per-process create storm, the elastic
+# placement ladder must hold the per-tenant p95 write SLO where the
+# static policy fails, runs must be seed-deterministic, and a 1-tenant
+# facility must replay the exact run_strategy() timeline. Optimized
+# tree, ~60s budget (the scenarios themselves take a few seconds).
+if [ "$RUN_FACILITY" = 1 ]; then
+  step "facility (bench_facility --check, build-mc)"
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-mc -j "$JOBS" --target bench_facility
+  ./build-mc/bench/bench_facility build-mc/BENCH_facility.json --check
 fi
 
 # ------------------------------------------------------- static gates

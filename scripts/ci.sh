@@ -12,6 +12,7 @@
 #   scripts/ci.sh --no-chaos    # skip the fixed-seed fault-injection matrix
 #   scripts/ci.sh --no-sched    # skip the adaptive-scheduler gate (bench_sched)
 #   scripts/ci.sh --no-plugins  # skip the in-situ analytics gate (bench_plugin)
+#   scripts/ci.sh --no-facility # skip the multi-tenant facility gate (bench_facility)
 #   scripts/ci.sh --no-static   # skip the static gates (dmr_lint + -Wthread-safety)
 #   scripts/ci.sh --no-verify   # skip the dmr_verify dataflow analyzer
 #
@@ -27,6 +28,7 @@ RUN_MODEL=1
 RUN_CHAOS=1
 RUN_SCHED=1
 RUN_PLUGINS=1
+RUN_FACILITY=1
 RUN_STATIC=1
 RUN_VERIFY=1
 CHECK_ARGS=()
@@ -38,9 +40,10 @@ for arg in "$@"; do
     --no-chaos) RUN_CHAOS=0 ;;
     --no-sched) RUN_SCHED=0 ;;
     --no-plugins) RUN_PLUGINS=0 ;;
+    --no-facility) RUN_FACILITY=0 ;;
     --no-static) RUN_STATIC=0 ;;
     --no-verify) RUN_VERIFY=0 ;;
-    --fast) RUN_MODEL=0; RUN_CHAOS=0; RUN_SCHED=0; RUN_PLUGINS=0; CHECK_ARGS+=("$arg") ;;
+    --fast) RUN_MODEL=0; RUN_CHAOS=0; RUN_SCHED=0; RUN_PLUGINS=0; RUN_FACILITY=0; CHECK_ARGS+=("$arg") ;;
     *) CHECK_ARGS+=("$arg") ;;
   esac
 done
@@ -55,6 +58,9 @@ if [ "$RUN_SCHED" = 1 ]; then
 fi
 if [ "$RUN_PLUGINS" = 1 ]; then
   CHECK_ARGS+=("--plugins")
+fi
+if [ "$RUN_FACILITY" = 1 ]; then
+  CHECK_ARGS+=("--facility")
 fi
 if [ "$RUN_STATIC" = 1 ]; then
   CHECK_ARGS+=("--static")

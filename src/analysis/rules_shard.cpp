@@ -17,7 +17,7 @@ namespace dmr::analysis {
 
 namespace {
 
-const char* kShardRoots[] = {"src/des/"};
+const char* kShardRoots[] = {"src/des/", "src/facility/"};
 
 bool in_shard_root(const std::string& rel) {
   for (const char* r : kShardRoots)

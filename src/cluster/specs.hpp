@@ -61,6 +61,8 @@ enum class MetadataModel {
   kSerializedSingleServer,  // Lustre-like: one MDS, creates serialize
   kDistributed,             // PVFS-like: metadata spread over servers
   kSharedDisk,              // GPFS-like: distributed, lock-based
+  kSharded,                 // hash-partitioned namespace shards with
+                            // replicated read service (ViPIOS-style)
 };
 
 /// Parallel file system deployment.
@@ -74,6 +76,13 @@ struct FsSpec {
   Bytes stripe_size = 1 * MiB;        // striping unit
   int default_stripe_count = 4;       // servers per file unless overridden
   MetadataModel metadata = MetadataModel::kSerializedSingleServer;
+  /// MetadataModel::kSharded only: number of hash-partitioned namespace
+  /// shards (each a serial queue like the single MDS) and the replica
+  /// count per shard. Replica 1 is the primary; additional replicas
+  /// serve read traffic (open/close round-robin) while mutations go to
+  /// the primary and are applied asynchronously to the replicas.
+  int mds_shards = 8;
+  int mds_replicas = 1;
   SimTime metadata_create_cost = 1.5e-3;  // per file-create, s
   SimTime metadata_open_cost = 0.3e-3;    // per open of existing file, s
   /// Byte-range/extent lock costs for shared-file writes.

@@ -449,6 +449,171 @@ Result<Config> Config::from_xml(const XmlNode& root) {
     }
   }
 
+  // <facility nodes="16" seed="7">
+  //   <mds model="sharded" shards="8" replicas="2"/>
+  //   <placement policy="elastic" slo_p95_ms="500" trip="2" clear="3"
+  //              staging_gib_s="8" group_servers="8"/>
+  //   <tenants>
+  //     <tenant id="1" name="cm1-a" arrival="0" nodes="4"
+  //             strategy="damaris" iterations="8" slo_p95_ms="400"/>
+  //   </tenants>
+  // </facility> — the multi-tenant facility (DESIGN.md §17). Structural
+  // mistakes (negative arrivals, duplicate ids, unknown policy or
+  // strategy names, more replicas than shards) are rejected here.
+  if (const XmlNode* fac = root.child("facility")) {
+    FacilityConfig& fc = cfg.facility_;
+    fc.declared = true;
+    Status s = Status::ok();
+    if (const std::string* a = fac->attr("nodes")) {
+      s = parse_int(*a, "facility nodes", fc.nodes);
+      if (!s.is_ok()) return s;
+      if (fc.nodes < 1) {
+        return invalid_argument("facility nodes must be >= 1");
+      }
+    }
+    if (const std::string* a = fac->attr("seed")) {
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(a->c_str(), &endp, 10);
+      if (endp == a->c_str() || *endp != '\0' || v == 0) {
+        return invalid_argument("bad facility seed '" + *a + "'");
+      }
+      fc.seed = v;
+    }
+    if (const XmlNode* mds = fac->child("mds")) {
+      fc.mds_model = mds->attr_or("model", "serialized");
+      if (fc.mds_model != "serialized" && fc.mds_model != "sharded") {
+        return invalid_argument(
+            "facility mds model must be serialized|sharded, got '" +
+            fc.mds_model + "'");
+      }
+      if (const std::string* a = mds->attr("shards")) {
+        s = parse_int(*a, "mds shards", fc.mds_shards);
+        if (!s.is_ok()) return s;
+        if (fc.mds_shards < 1) {
+          return invalid_argument("mds shards must be >= 1");
+        }
+      }
+      if (const std::string* a = mds->attr("replicas")) {
+        s = parse_int(*a, "mds replicas", fc.mds_replicas);
+        if (!s.is_ok()) return s;
+        if (fc.mds_replicas < 1) {
+          return invalid_argument("mds replicas must be >= 1");
+        }
+      }
+      if (fc.mds_replicas > fc.mds_shards) {
+        return invalid_argument(
+            "mds replicas (" + std::to_string(fc.mds_replicas) +
+            ") must not exceed shards (" + std::to_string(fc.mds_shards) +
+            ")");
+      }
+    }
+    if (const XmlNode* place = fac->child("placement")) {
+      FacilityPlacementDecl& pd = fc.placement;
+      pd.policy = place->attr_or("policy", "static");
+      if (pd.policy != "static" && pd.policy != "elastic") {
+        return invalid_argument(
+            "placement policy must be static|elastic, got '" + pd.policy +
+            "'");
+      }
+      if (const std::string* a = place->attr("slo_p95_ms")) {
+        s = parse_double(*a, "placement slo_p95_ms", pd.slo_p95_ms);
+        if (!s.is_ok()) return s;
+        if (pd.slo_p95_ms < 0.0) {
+          return invalid_argument("placement slo_p95_ms must be >= 0");
+        }
+      }
+      if (const std::string* a = place->attr("trip")) {
+        s = parse_int(*a, "placement trip", pd.trip);
+        if (!s.is_ok()) return s;
+        if (pd.trip < 1) {
+          return invalid_argument("placement trip must be >= 1");
+        }
+      }
+      if (const std::string* a = place->attr("clear")) {
+        s = parse_int(*a, "placement clear", pd.clear);
+        if (!s.is_ok()) return s;
+        if (pd.clear < 1) {
+          return invalid_argument("placement clear must be >= 1");
+        }
+      }
+      if (const std::string* a = place->attr("staging_gib_s")) {
+        s = parse_double(*a, "placement staging_gib_s", pd.staging_gib_s);
+        if (!s.is_ok()) return s;
+        if (pd.staging_gib_s <= 0.0) {
+          return invalid_argument("placement staging_gib_s must be > 0");
+        }
+      }
+      if (const std::string* a = place->attr("group_servers")) {
+        s = parse_int(*a, "placement group_servers", pd.group_servers);
+        if (!s.is_ok()) return s;
+        if (pd.group_servers < 1) {
+          return invalid_argument("placement group_servers must be >= 1");
+        }
+      }
+    }
+    if (const XmlNode* tenants = fac->child("tenants")) {
+      for (const XmlNode* n : tenants->children_named("tenant")) {
+        FacilityTenantDecl decl;
+        const std::string* id = n->attr("id");
+        if (!id) return invalid_argument("<tenant> without id");
+        s = parse_int(*id, "tenant id", decl.id);
+        if (!s.is_ok()) return s;
+        if (decl.id < 0) {
+          return invalid_argument("tenant id must be >= 0");
+        }
+        const std::string who = "tenant " + std::to_string(decl.id);
+        decl.name = n->attr_or("name", "tenant-" + std::to_string(decl.id));
+        if (const std::string* a = n->attr("arrival")) {
+          s = parse_double(*a, "tenant arrival", decl.arrival);
+          if (!s.is_ok()) return s;
+          if (decl.arrival < 0.0) {
+            return invalid_argument(who + ": arrival must be >= 0");
+          }
+        }
+        if (const std::string* a = n->attr("nodes")) {
+          s = parse_int(*a, "tenant nodes", decl.nodes);
+          if (!s.is_ok()) return s;
+        }
+        if (decl.nodes < 1) {
+          return invalid_argument(who + ": nodes must be >= 1");
+        }
+        if (decl.nodes > fc.nodes) {
+          return invalid_argument(
+              who + " wants " + std::to_string(decl.nodes) +
+              " nodes but the facility has " + std::to_string(fc.nodes));
+        }
+        decl.strategy = n->attr_or("strategy", "damaris");
+        if (decl.strategy != "file-per-process" &&
+            decl.strategy != "collective-io" && decl.strategy != "damaris" &&
+            decl.strategy != "no-io") {
+          return invalid_argument(who + ": unknown strategy '" +
+                                  decl.strategy + "'");
+        }
+        if (const std::string* a = n->attr("iterations")) {
+          s = parse_int(*a, "tenant iterations", decl.iterations);
+          if (!s.is_ok()) return s;
+          if (decl.iterations < 1) {
+            return invalid_argument(who + ": iterations must be >= 1");
+          }
+        }
+        if (const std::string* a = n->attr("slo_p95_ms")) {
+          s = parse_double(*a, "tenant slo_p95_ms", decl.slo_p95_ms);
+          if (!s.is_ok()) return s;
+          if (decl.slo_p95_ms < 0.0) {
+            return invalid_argument(who + ": slo_p95_ms must be >= 0");
+          }
+        }
+        for (const FacilityTenantDecl& other : fc.tenants) {
+          if (other.id == decl.id) {
+            return invalid_argument("duplicate tenant id " +
+                                    std::to_string(decl.id));
+          }
+        }
+        fc.tenants.push_back(std::move(decl));
+      }
+    }
+  }
+
   // Cross-reference validation: every variable's layout must exist.
   for (const auto& [vname, var] : cfg.variables_) {
     if (!cfg.find_layout(var.layout_name)) {

@@ -116,6 +116,44 @@ struct MonitorConfig {
   double slo_max_ms = 0.0;
 };
 
+/// One <tenant> of the facility's <tenants> list: an application the
+/// facility admits at `arrival` onto `nodes` machine nodes.
+struct FacilityTenantDecl {
+  int id = 0;
+  std::string name;          // display name; defaults to "tenant-<id>"
+  double arrival = 0.0;      // simulated admission request time, seconds
+  int nodes = 1;             // contiguous node slice the tenant needs
+  std::string strategy = "damaris";  // strategies::strategy_name() value
+  int iterations = 8;
+  double slo_p95_ms = 0.0;   // per-tenant p95 SLO; 0 inherits <placement>
+};
+
+/// The facility's <placement> section: the elastic resource ladder
+/// (dedicated core -> dedicated node -> staging tier).
+struct FacilityPlacementDecl {
+  std::string policy = "static";  // "static" | "elastic"
+  double slo_p95_ms = 0.0;        // default p95 SLO over write phases
+  int trip = 2;                   // violating phases before escalating
+  int clear = 3;                  // clean phases before recovering
+  double staging_gib_s = 8.0;     // staging-tier absorption bandwidth
+  int group_servers = 8;          // data servers per reserved slice
+};
+
+/// The <facility> section: a multi-tenant run sharing one machine, with
+/// the sharded metadata service and the placement-policy engine
+/// (DESIGN.md §17). `declared` distinguishes "no section" from an
+/// explicit empty one.
+struct FacilityConfig {
+  bool declared = false;
+  int nodes = 8;
+  std::uint64_t seed = 1;
+  std::string mds_model = "serialized";  // "serialized" | "sharded"
+  int mds_shards = 8;
+  int mds_replicas = 1;
+  FacilityPlacementDecl placement;
+  std::vector<FacilityTenantDecl> tenants;
+};
+
 /// Parsed, validated configuration.
 class Config {
  public:
@@ -168,6 +206,10 @@ class Config {
   /// default.
   const MonitorConfig& monitor() const { return monitor_; }
 
+  /// Multi-tenant facility description from the <facility> section;
+  /// `declared` is false when the configuration has none.
+  const FacilityConfig& facility() const { return facility_; }
+
  private:
   static Result<Config> from_xml(const XmlNode& root);
 
@@ -183,6 +225,7 @@ class Config {
   SchedulingConfig scheduling_;
   PluginsConfig plugins_;
   MonitorConfig monitor_;
+  FacilityConfig facility_;
 };
 
 }  // namespace dmr::config

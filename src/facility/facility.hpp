@@ -1,0 +1,278 @@
+// Multi-tenant facility layer (ROADMAP item 2): many applications —
+// each a full strategies::RunConfig — share ONE simulated machine and
+// file system, arriving on a deterministic schedule and contending
+// through the existing noise/link models.
+//
+// Three pieces:
+//
+//   Facility         admits tenants in (arrival, id) order onto
+//                    contiguous node slices of the shared machine,
+//                    runs each as a facility-mode strategies::Experiment
+//                    and queues arrivals while the machine is full;
+//   sharded MDS      MetadataModel::kSharded in fs/sim_fs.*: the
+//                    namespace is hash-partitioned over per-shard serial
+//                    queues with replicated read service; tenants get
+//                    the fs::MdsShardMap at admission (ViPIOS-style
+//                    server-directed negotiation);
+//   PlacementEngine  the elastic resource ladder — dedicated core →
+//                    dedicated node (a reserved data-server slice) →
+//                    staging tier (burst buffer + background drain).
+//                    It observes every tenant write phase against the
+//                    tenant's p95 SLO and re-tiers with DegradeController
+//                    style trip/clear hysteresis.
+//
+// Determinism: the facility is one DES engine; identical specs yield
+// byte-identical outcomes, and a single tenant arriving at t=0 with
+// default placement replays the exact event timeline of run_strategy()
+// (pinned by bench_facility --check and tests/facility_test.cpp).
+//
+// Everything here lives in one translation unit and is single-shard
+// DES-side state (DMR_SHARD_LOCAL, checked by dmr_verify's shard rules
+// — src/facility/ is a shard root like src/des/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
+#include "config/config.hpp"
+#include "des/channel.hpp"
+#include "des/engine.hpp"
+#include "fs/sim_fs.hpp"
+#include "monitor/snapshot.hpp"
+#include "strategies/experiment.hpp"
+#include "trace/jitter_report.hpp"
+
+namespace dmr::facility {
+
+/// The resource ladder of the elastic placement policy, in escalation
+/// order. Tenants start on the paper's dedicated core.
+enum class Tier {
+  kDedicatedCore = 0,  // default hash placement, shared servers
+  kDedicatedNode = 1,  // a reserved data-server slice for this tenant
+  kStagingTier = 2,    // burst buffer absorbs writes; background drain
+};
+
+const char* tier_name(Tier tier);
+
+enum class PolicyKind { kStatic, kElastic };
+
+const char* policy_name(PolicyKind kind);
+
+/// Placement-ladder configuration (the <placement> config section).
+struct PlacementSpec {
+  DMR_SHARD_LOCAL PolicyKind policy = PolicyKind::kStatic;
+  /// Default per-tenant p95 SLO on observed write seconds; 0 = none.
+  DMR_SHARD_LOCAL double slo_p95_seconds = 0.0;
+  /// Consecutive violating phases before escalating one tier.
+  DMR_SHARD_LOCAL int trip_phases = 2;
+  /// Consecutive clean phases before recovering one tier.
+  DMR_SHARD_LOCAL int clear_phases = 3;
+  /// Absorption bandwidth of the staging-tier burst buffer, B/s.
+  DMR_SHARD_LOCAL double staging_bandwidth = 8.0 * GiB;
+  /// Data servers reserved per escalated tenant (the dedicated-node
+  /// slice width); clamped to the server count.
+  DMR_SHARD_LOCAL int group_servers = 8;
+};
+
+/// One tenant of the facility schedule.
+struct TenantSpec {
+  DMR_SHARD_LOCAL int tenant_id = 0;
+  DMR_SHARD_LOCAL std::string display_name;
+  DMR_SHARD_LOCAL SimTime arrival_time = 0.0;
+  /// The tenant's full application configuration. Its platform/tracer/
+  /// injector fields are ignored — the facility's machine and file
+  /// system are shared. Transport::kDedicatedNodes is not admissible.
+  DMR_SHARD_LOCAL strategies::RunConfig base_run;
+  /// Per-tenant SLO override; 0 inherits PlacementSpec::slo_p95_seconds.
+  DMR_SHARD_LOCAL double slo_p95_seconds = 0.0;
+  /// For achieved-vs-requested reporting; 0 derives the request from
+  /// the workload (bytes per phase / write interval).
+  DMR_SHARD_LOCAL double requested_bandwidth = 0.0;
+};
+
+/// The whole facility run.
+struct FacilitySpec {
+  DMR_SHARD_LOCAL cluster::PlatformSpec platform_spec;
+  DMR_SHARD_LOCAL int facility_nodes = 8;
+  DMR_SHARD_LOCAL std::uint64_t facility_seed = 1;
+  DMR_SHARD_LOCAL PlacementSpec placement_spec;
+  DMR_SHARD_LOCAL std::vector<TenantSpec> tenant_specs;
+  /// Optional structured tracing for the whole facility (not owned).
+  DMR_SHARD_LOCAL trace::Tracer* tracer_hook = nullptr;
+  /// > 0: assemble a MonitorSnapshot with the per-tenant table every
+  /// `snapshot_period` simulated seconds and hand it to snapshot_sink.
+  DMR_SHARD_LOCAL SimTime snapshot_period = 0.0;
+  DMR_SHARD_LOCAL std::function<void(const monitor::MonitorSnapshot&)>
+      snapshot_sink;
+};
+
+/// Per-tenant QoS outcome.
+struct TenantOutcome {
+  DMR_SHARD_LOCAL int tenant_id = 0;
+  DMR_SHARD_LOCAL std::string display_name;
+  DMR_SHARD_LOCAL SimTime arrival_time = 0.0;
+  DMR_SHARD_LOCAL SimTime admitted_time = 0.0;
+  DMR_SHARD_LOCAL SimTime finished_time = 0.0;
+  DMR_SHARD_LOCAL Tier final_tier = Tier::kDedicatedCore;
+  DMR_SHARD_LOCAL int escalations = 0;
+  DMR_SHARD_LOCAL int recoveries = 0;
+  /// Phases whose observed write time crossed the tenant's SLO, out of
+  /// the phases observed (0/0 when the tenant has no SLO).
+  DMR_SHARD_LOCAL std::uint64_t slo_violations = 0;
+  DMR_SHARD_LOCAL std::uint64_t slo_phases = 0;
+  /// Jitter percentiles over the tenant's per-phase write observations.
+  DMR_SHARD_LOCAL trace::JitterSummary write_jitter;
+  /// The raw per-phase write observations, in completion order — lets
+  /// capacity planning window out warm-up phases (the ladder needs
+  /// trip_phases observations per escalation step before it converges).
+  DMR_SHARD_LOCAL std::vector<SimTime> phase_write_log;
+  DMR_SHARD_LOCAL double achieved_bandwidth = 0.0;
+  DMR_SHARD_LOCAL double requested_bandwidth = 0.0;
+  DMR_SHARD_LOCAL strategies::RunResult run_result;
+};
+
+/// Facility-wide outcome.
+struct FacilityOutcome {
+  DMR_SHARD_LOCAL std::vector<TenantOutcome> tenant_outcomes;
+  DMR_SHARD_LOCAL SimTime makespan = 0.0;
+  /// Bytes the shared file system stored divided by the makespan.
+  DMR_SHARD_LOCAL double aggregate_bandwidth = 0.0;
+  /// Jain's fairness index over the tenants' achieved bandwidths.
+  DMR_SHARD_LOCAL double fairness_index = 1.0;
+  DMR_SHARD_LOCAL Bytes stored_bytes = 0;
+  DMR_SHARD_LOCAL fs::FsStats facility_fs_stats;
+  DMR_SHARD_LOCAL fs::MdsShardMap mds_map;
+  /// Cumulative busy seconds of each metadata shard primary.
+  DMR_SHARD_LOCAL std::vector<SimTime> mds_shard_busy;
+  /// Most tenants resident (admitted, unfinished) at once.
+  DMR_SHARD_LOCAL int peak_resident = 0;
+  DMR_SHARD_LOCAL std::uint64_t ladder_escalations = 0;
+  DMR_SHARD_LOCAL std::uint64_t ladder_recoveries = 0;
+};
+
+/// Jain's fairness index (Σx)² / (n·Σx²) ∈ (0, 1]; 1 when empty.
+double jains_index(const std::vector<double>& xs);
+
+/// Structural validation of a facility spec: positive node counts and
+/// arrival times, unique tenant ids, admissible transports, tenants
+/// that fit the facility, sane ladder parameters.
+Status validate(const FacilitySpec& spec);
+
+/// Builds a FacilitySpec from a validated <facility> declaration.
+/// `base` is the template every tenant starts from; the declaration's
+/// per-tenant fields (strategy, nodes, iterations, SLO) override it,
+/// and each tenant's workload seed is derived from base.seed and its
+/// id so identical declarations replay identical facilities.
+FacilitySpec from_config(const config::FacilityConfig& decl,
+                         const strategies::RunConfig& base);
+
+/// The elastic placement-policy engine. Pure control logic plus the
+/// staging-tier burst buffer; it never advances simulated time itself.
+class PlacementEngine {
+ public:
+  PlacementEngine(des::Engine& engine, const PlacementSpec& ladder,
+                  int data_servers);
+
+  /// Registers a tenant at its admission (ladder starts at the
+  /// dedicated-core tier). `slo_p95_seconds` 0 disables observation.
+  void admit(int tenant_id, double slo_p95_seconds);
+  /// Drops the tenant and frees any reserved server group.
+  void release(int tenant_id);
+
+  /// Placement for the tenant's next write, per its current tier.
+  strategies::PlacementDirective directive(int tenant_id);
+
+  /// Feeds one finished write phase; returns true when the tenant
+  /// changed tier (elastic policy only — static counts violations but
+  /// never re-tiers).
+  bool observe(int tenant_id, SimTime write_seconds);
+
+  Tier tier_of(int tenant_id) const;
+  /// Tenant is mid violation streak (for the monitor's SLO column).
+  bool hot(int tenant_id) const;
+  int escalations_of(int tenant_id) const;
+  int recoveries_of(int tenant_id) const;
+  std::uint64_t violations_of(int tenant_id) const;
+  std::uint64_t phases_of(int tenant_id) const;
+
+  std::uint64_t total_escalations() const { return climb_total_; }
+  std::uint64_t total_recoveries() const { return descend_total_; }
+
+ private:
+  /// Per-tenant ladder state (nested: exempt from shard annotations).
+  struct LadderState {
+    double slo_seconds = 0.0;
+    Tier tier = Tier::kDedicatedCore;
+    int bad_streak = 0;
+    int good_streak = 0;
+    int server_group = -1;  // reserved group index, -1 = none
+    int climbs = 0;
+    int descents = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t phases = 0;
+  };
+
+  const LadderState* state_of(int tenant_id) const;
+  int reserve_group();
+
+  DMR_SHARD_LOCAL PlacementSpec ladder_spec_;
+  DMR_SHARD_LOCAL int server_count_;
+  DMR_SHARD_LOCAL int group_width_;
+  DMR_SHARD_LOCAL std::unique_ptr<des::ServiceQueue> staging_queue_;
+  DMR_SHARD_LOCAL std::vector<int> ladder_ids_;
+  DMR_SHARD_LOCAL std::vector<LadderState> ladder_states_;
+  DMR_SHARD_LOCAL std::vector<bool> group_taken_;
+  DMR_SHARD_LOCAL std::uint64_t climb_total_ = 0;
+  DMR_SHARD_LOCAL std::uint64_t descend_total_ = 0;
+};
+
+/// The facility driver. Construct, run() once, read the outcome.
+class Facility {
+ public:
+  explicit Facility(const FacilitySpec& spec);
+  ~Facility();
+
+  Facility(const Facility&) = delete;
+  Facility& operator=(const Facility&) = delete;
+
+  FacilityOutcome run();
+
+ private:
+  /// Everything the facility tracks per tenant (nested: exempt from
+  /// shard annotations).
+  struct TenantRun;
+  struct Controller;
+
+  des::Process admission_loop();
+  des::Process snapshot_loop();
+  monitor::MonitorSnapshot assemble_snapshot();
+  void note_phase(int slot, SimTime write_seconds, Bytes bytes);
+  void note_finish(int slot);
+  int find_slice(int nodes_wanted) const;
+  void claim_slice(int first, int nodes_wanted, bool taken);
+  SimTime horizon() const;
+
+  DMR_SHARD_LOCAL FacilitySpec plan_;
+  DMR_SHARD_LOCAL des::Engine engine_;
+  DMR_SHARD_LOCAL cluster::Machine machine_;
+  DMR_SHARD_LOCAL fs::SimFs shared_fs_;
+  DMR_SHARD_LOCAL PlacementEngine placement_;
+  DMR_SHARD_LOCAL std::vector<std::unique_ptr<TenantRun>> tenant_runs_;
+  DMR_SHARD_LOCAL std::vector<bool> node_taken_;
+  DMR_SHARD_LOCAL std::unique_ptr<des::Channel<int>> done_channel_;
+  /// All tenants' phase observations pooled (for the snapshot's
+  /// facility-wide jitter block).
+  DMR_SHARD_LOCAL Sample all_phase_write_;
+  DMR_SHARD_LOCAL int resident_count_ = 0;
+  DMR_SHARD_LOCAL int peak_resident_ = 0;
+  DMR_SHARD_LOCAL int finished_count_ = 0;
+  DMR_SHARD_LOCAL std::int64_t snapshot_seq_ = 0;
+};
+
+}  // namespace dmr::facility

@@ -22,12 +22,13 @@ SimFs::Server::Server(des::Engine& eng, const cluster::FsSpec& spec,
       metadata(eng, 1.0),
       noise(std::move(noise_model)) {}
 
+SimFs::MdsShard::MdsShard(des::Engine& eng, cluster::NoiseModel noise_model)
+    : primary(eng, 1.0), noise(std::move(noise_model)) {}
+
 SimFs::SimFs(cluster::Machine& machine)
     : machine_(&machine),
       spec_(machine.spec().fs),
       eng_(&machine.engine()),
-      mds_noise_(machine.spec().noise,
-                 Rng::for_entity(machine.seed(), 0x4d445300ULL)),
       capacity_(machine.spec().fs.capacity) {
   servers_.reserve(spec_.data_servers);
   for (int i = 0; i < spec_.data_servers; ++i) {
@@ -43,10 +44,56 @@ SimFs::SimFs(cluster::Machine& machine)
     srv.lock_manager.set_trace(id, "lock");
     srv.metadata.set_trace(id, "metadata");
   }
-  if (spec_.metadata == cluster::MetadataModel::kSerializedSingleServer) {
-    mds_ = std::make_unique<des::ServiceQueue>(*eng_, 1.0);
-    mds_->set_trace({trace::EntityType::kMds, 0}, "metadata");
+  // The serialized model is exactly one shard with no replicas — its
+  // RNG stream, queue and trace lane are unchanged from the historical
+  // single-MDS timeline (golden-pinned).
+  const bool sharded = spec_.metadata == cluster::MetadataModel::kSharded;
+  if (sharded ||
+      spec_.metadata == cluster::MetadataModel::kSerializedSingleServer) {
+    const int shards = sharded ? std::max(1, spec_.mds_shards) : 1;
+    const int replicas = sharded ? std::max(1, spec_.mds_replicas) : 1;
+    mds_shards_.reserve(shards);
+    for (int s = 0; s < shards; ++s) {
+      mds_shards_.push_back(std::make_unique<MdsShard>(
+          *eng_,
+          cluster::NoiseModel(machine.spec().noise,
+                              Rng::for_entity(machine.seed(),
+                                              0x4d445300ULL + s))));
+      MdsShard& shard = *mds_shards_.back();
+      // Lanes generalize the old single "metadata" label: every shard
+      // (and each of its replicas) is its own mds/<shard> stream.
+      shard.lane_label = "mds/" + std::to_string(s);
+      shard.primary.set_trace(
+          {trace::EntityType::kMds, static_cast<std::uint32_t>(s)},
+          shard.lane_label.c_str());
+      for (int r = 1; r < replicas; ++r) {
+        shard.replicas.push_back(
+            std::make_unique<des::ServiceQueue>(*eng_, 1.0));
+        // Replica lanes follow the primaries: mds/<shards + s*(R-1)+r-1>.
+        const int lane = shards + s * (replicas - 1) + (r - 1);
+        shard.replicas.back()->set_trace(
+            {trace::EntityType::kMds, static_cast<std::uint32_t>(lane)},
+            shard.lane_label.c_str());
+      }
+    }
   }
+}
+
+MdsShardMap SimFs::shard_map() const {
+  MdsShardMap map;
+  map.shard_count =
+      static_cast<int>(std::max<std::size_t>(1, mds_shards_.size()));
+  map.replica_count =
+      mds_shards_.empty()
+          ? 1
+          : 1 + static_cast<int>(mds_shards_.front()->replicas.size());
+  map.data_server_count = static_cast<int>(servers_.size());
+  return map;
+}
+
+SimTime SimFs::mds_busy(int shard) const {
+  if (shard < 0 || shard >= static_cast<int>(mds_shards_.size())) return 0.0;
+  return mds_shards_[shard]->primary.total_busy();
 }
 
 void SimFs::set_fault_injector(const fault::FaultInjector* injector) {
@@ -121,12 +168,33 @@ void SimFs::spawn_interference(SimTime horizon) {
   }
 }
 
-des::Task<void> SimFs::metadata_op(int client_core, SimTime cost) {
+des::Task<void> SimFs::metadata_op(int client_core, SimTime cost,
+                                   bool mutate, std::uint64_t key) {
   // Metadata requests are tiny; network time is folded into the op cost.
   switch (spec_.metadata) {
-    case cluster::MetadataModel::kSerializedSingleServer: {
-      const double mult = mds_noise_.storage_multiplier();
-      co_await mds_->occupy(cost, mult);
+    case cluster::MetadataModel::kSerializedSingleServer:
+    case cluster::MetadataModel::kSharded: {
+      MdsShard& shard = *mds_shards_[key % mds_shards_.size()];
+      const double mult = shard.noise.storage_multiplier();
+      if (mutate || shard.replicas.empty()) {
+        co_await shard.primary.occupy(cost, mult);
+        if (mutate) {
+          // Replicas apply the mutation asynchronously off the client's
+          // critical path (the replication write amplification still
+          // consumes their service time).
+          for (auto& rep : shard.replicas) rep->commit_duration(cost * mult);
+        }
+      } else {
+        // Reads fan out round-robin over primary + replicas.
+        const std::uint64_t pick =
+            shard.next_read++ % (shard.replicas.size() + 1);
+        if (pick == 0) {
+          co_await shard.primary.occupy(cost, mult);
+        } else {
+          ++stats_.mds_replica_reads;
+          co_await shard.replicas[pick - 1]->occupy(cost, mult);
+        }
+      }
       break;
     }
     case cluster::MetadataModel::kDistributed:
@@ -143,13 +211,28 @@ des::Task<void> SimFs::metadata_op(int client_core, SimTime cost) {
 }
 
 des::Task<FileHandle> SimFs::create(int client_core, int stripe_count,
-                                    bool shared) {
+                                    bool shared, Placement place) {
   FileHandle h;
   h.id = next_file_id_++;
   h.stripe_count = stripe_count <= 0 ? spec_.default_stripe_count
                                      : stripe_count;
   h.stripe_count = std::min(h.stripe_count, num_servers());
-  h.first_server = static_cast<int>(h.id % servers_.size());
+  if (place.first_server >= 0) {
+    // Server-directed placement: confine the stripes to the reserved
+    // slice [first_server, first_server + span), spreading files across
+    // it by id so a tenant's writers do not all pile on one server.
+    const int span = place.server_span > 0
+                         ? std::min(place.server_span, num_servers())
+                         : num_servers();
+    h.stripe_count = std::min(h.stripe_count, span);
+    const int slots = span - h.stripe_count + 1;
+    h.first_server =
+        (place.first_server +
+         static_cast<int>(h.id % static_cast<std::uint64_t>(slots))) %
+        num_servers();
+  } else {
+    h.first_server = static_cast<int>(h.id % servers_.size());
+  }
   h.shared = shared;
   ++stats_.creates;
 
@@ -157,13 +240,14 @@ des::Task<FileHandle> SimFs::create(int client_core, int stripe_count,
   if (spec_.metadata == cluster::MetadataModel::kSharedDisk) {
     cost += spec_.lock_acquire_cost;  // directory token traffic
   }
-  co_await metadata_op(client_core, cost);
+  co_await metadata_op(client_core, cost, /*mutate=*/true, h.id);
   co_return h;
 }
 
-des::Task<void> SimFs::open(int client_core, FileHandle) {
+des::Task<void> SimFs::open(int client_core, FileHandle file) {
   ++stats_.opens;
-  co_await metadata_op(client_core, spec_.metadata_open_cost);
+  co_await metadata_op(client_core, spec_.metadata_open_cost,
+                       /*mutate=*/false, file.id);
 }
 
 des::Task<void> SimFs::acquire_lock(int server, const FileHandle& file,
@@ -291,8 +375,26 @@ des::Task<Status> SimFs::try_write(int client_core, FileHandle file,
   co_return Status::ok();
 }
 
-des::Task<void> SimFs::close(int client_core, FileHandle) {
-  co_await metadata_op(client_core, spec_.metadata_open_cost);
+des::Task<void> SimFs::close(int client_core, FileHandle file) {
+  co_await metadata_op(client_core, spec_.metadata_open_cost,
+                       /*mutate=*/false, file.id);
+}
+
+des::Process SimFs::drain_process(int client_core, int stripe_count,
+                                  Bytes bytes, Bytes max_request,
+                                  Placement place) {
+  FileHandle h = co_await create(client_core, stripe_count,
+                                 /*shared=*/false, place);
+  WriteOptions opts;
+  opts.max_request = max_request;
+  co_await write(client_core, h, 0, bytes, opts);
+  co_await close(client_core, h);
+}
+
+void SimFs::drain_async(int client_core, int stripe_count, Bytes bytes,
+                        Bytes max_request, Placement place) {
+  eng_->spawn(
+      drain_process(client_core, stripe_count, bytes, max_request, place));
 }
 
 }  // namespace dmr::fs

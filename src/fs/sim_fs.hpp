@@ -3,7 +3,9 @@
 // Models the three behaviours the paper identifies as jitter sources in
 // the storage stack (§I, §II):
 //   - metadata serialization: Lustre-like single MDS turns a
-//     file-per-process create storm into a serial queue;
+//     file-per-process create storm into a serial queue (the sharded
+//     model partitions the namespace over several such queues, with
+//     optional read replicas, and hands tenants the shard map);
 //   - per-request costs and stream switching: servers pay a fixed
 //     overhead per request plus a penalty whenever consecutive requests
 //     belong to different write streams (different file/client) — this is
@@ -29,6 +31,7 @@
 #include "cluster/specs.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "des/process.hpp"
 #include "des/resources.hpp"
 #include "des/task.hpp"
 #include "fault/fault.hpp"
@@ -49,12 +52,35 @@ struct WriteOptions {
   Bytes max_request = 0;
 };
 
+/// Server-directed placement of a new file (ViPIOS-style negotiation):
+/// a facility can confine a tenant's files to a reserved slice of the
+/// data servers instead of the default hash placement.
+struct Placement {
+  /// First data server of the reserved slice; < 0 keeps hash placement.
+  int first_server = -1;
+  /// Number of servers in the slice; 0 means all servers.
+  int server_span = 0;
+};
+
+/// The shard map handed to tenants at admission: how the namespace is
+/// partitioned so clients can predict which metadata shard a file id
+/// lands on (and size their create storms accordingly).
+struct MdsShardMap {
+  int shard_count = 1;
+  int replica_count = 1;
+  int data_server_count = 0;
+  int shard_of(std::uint64_t key) const {
+    return static_cast<int>(key % static_cast<std::uint64_t>(shard_count));
+  }
+};
+
 /// Aggregate counters for reporting.
 struct FsStats {
   Bytes bytes_written = 0;
   std::uint64_t creates = 0;
   std::uint64_t opens = 0;
   std::uint64_t write_ops = 0;     // striped server requests
+  std::uint64_t mds_replica_reads = 0;  // reads served by a read replica
   std::uint64_t stream_switches = 0;
   std::uint64_t lock_revocations = 0;
   std::uint64_t enospc_errors = 0;     // capacity model + injected ENOSPC
@@ -70,9 +96,10 @@ class SimFs {
   SimFs& operator=(const SimFs&) = delete;
 
   /// Creates a file from core `client_core`. stripe_count <= 0 uses the
-  /// platform default; it is clamped to the number of servers.
+  /// platform default; it is clamped to the number of servers (or to the
+  /// placement slice when one is given).
   des::Task<FileHandle> create(int client_core, int stripe_count = -1,
-                               bool shared = false);
+                               bool shared = false, Placement place = {});
 
   /// Opens an existing file (metadata round-trip only).
   des::Task<void> open(int client_core, FileHandle file);
@@ -101,6 +128,14 @@ class SimFs {
   /// Closes the file (small metadata update).
   des::Task<void> close(int client_core, FileHandle file);
 
+  /// Spawns a detached background drain: create + write + close of
+  /// `bytes` from `client_core` with the given placement. Used by the
+  /// staging tier — the client returns as soon as the burst buffer has
+  /// absorbed its data while the drain contends with everyone else for
+  /// the real servers (bytes are conserved, jitter is not observed).
+  void drain_async(int client_core, int stripe_count, Bytes bytes,
+                   Bytes max_request, Placement place = {});
+
   const FsStats& stats() const { return stats_; }
   const cluster::FsSpec& spec() const { return spec_; }
   int num_servers() const { return static_cast<int>(servers_.size()); }
@@ -118,6 +153,12 @@ class SimFs {
 
   /// Cumulative busy time of data server `i` (for utilization reports).
   SimTime server_busy(int i) const { return servers_[i]->queue.total_busy(); }
+
+  /// How the metadata namespace is partitioned (1 shard for the single-
+  /// MDS and distributed models).
+  MdsShardMap shard_map() const;
+  /// Cumulative busy time of metadata shard `shard`'s primary queue.
+  SimTime mds_busy(int shard) const;
 
   /// Starts the cross-application interference daemons (one per server,
   /// NoiseSpec burst parameters) until simulated time `horizon`. Call
@@ -150,18 +191,37 @@ class SimFs {
   SimTime commit_chunk(int server, std::uint64_t stream_id, Bytes bytes,
                        SimTime earliest_start, bool shared_file);
 
+  /// One hash-partitioned metadata shard: a serial primary queue (the
+  /// single-MDS model is exactly one of these) plus optional read
+  /// replicas that serve opens/closes round-robin.
+  struct MdsShard {
+    des::ServiceQueue primary;
+    std::vector<std::unique_ptr<des::ServiceQueue>> replicas;
+    cluster::NoiseModel noise;
+    std::uint64_t next_read = 0;  // round-robin cursor over replicas
+    /// Trace label ("mds/<shard>"); owned here because set_trace keeps
+    /// the pointer (the shard itself is heap-pinned, never moved).
+    std::string lane_label;
+
+    MdsShard(des::Engine& eng, cluster::NoiseModel noise_model);
+  };
+
   /// Lock cost for `client` writing `file` on `server` (0 for unshared).
   des::Task<void> acquire_lock(int server, const FileHandle& file,
                                std::uint64_t client);
 
-  des::Task<void> metadata_op(int client_core, SimTime cost);
+  /// `mutate` ops (creates) serialize at the shard primary; reads
+  /// (open/close) may be served by a replica. `key` picks the shard.
+  des::Task<void> metadata_op(int client_core, SimTime cost, bool mutate,
+                              std::uint64_t key);
+  des::Process drain_process(int client_core, int stripe_count, Bytes bytes,
+                             Bytes max_request, Placement place);
 
   cluster::Machine* machine_;
   cluster::FsSpec spec_;
   des::Engine* eng_;
   std::vector<std::unique_ptr<Server>> servers_;
-  std::unique_ptr<des::ServiceQueue> mds_;  // single-MDS models
-  cluster::NoiseModel mds_noise_;
+  std::vector<std::unique_ptr<MdsShard>> mds_shards_;  // MDS-queue models
   std::uint64_t next_file_id_ = 1;
   FsStats stats_;
   Bytes capacity_ = 0;

@@ -34,6 +34,10 @@ namespace dmr::cluster {
 class Node;
 }
 
+namespace dmr::des {
+class ServiceQueue;
+}
+
 namespace dmr::iopath {
 
 /// Canonical stage order (the pipeline invariant checked by
@@ -73,6 +77,17 @@ struct WriteRequest {
   cluster::Node* node = nullptr;
   /// Staging node a Transport stage ships to (dedicated-nodes mode).
   cluster::Node* staging = nullptr;
+
+  /// Server-directed placement for the Storage stage (facility placement
+  /// ladder): confine this request's file to the data-server slice
+  /// [place_first_server, +place_server_span). Negative first server
+  /// keeps default hash placement.
+  int place_first_server = -1;
+  int place_server_span = 0;
+  /// Staging-tier burst buffer (facility ladder tier 2): when set, the
+  /// Storage stage completes once this queue absorbed the payload and
+  /// the real file-system writes drain in the background.
+  des::ServiceQueue* staging_tier = nullptr;
 
   /// Per-stage-kind time spent by *this* request, filled by the
   /// pipeline runner.

@@ -48,7 +48,20 @@ void ScheduleStage::complete(WriteRequest& req) {
 }
 
 des::Task<void> StorageStage::run(WriteRequest& req) {
-  fs::FileHandle h = co_await fs_->create(req.core, stripe_count_);
+  const fs::Placement place{req.place_first_server, req.place_server_span};
+  if (req.staging_tier != nullptr) {
+    // Staging tier: the burst buffer absorbs the payload at its own
+    // bandwidth and the client is done; the real create/write/close
+    // drains in the background (bytes conserved, server contention and
+    // jitter hidden from this writer).
+    co_await req.staging_tier->serve(req.bytes);
+    fs_->drain_async(req.core, stripe_count_, req.bytes, max_request_,
+                     place);
+    req.status = Status::ok();
+    co_return;
+  }
+  fs::FileHandle h =
+      co_await fs_->create(req.core, stripe_count_, /*shared=*/false, place);
   fs::WriteOptions opts;
   opts.max_request = max_request_;
   Status st = co_await fs_->try_write(req.core, h, 0, req.bytes, opts);

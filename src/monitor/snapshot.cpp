@@ -111,6 +111,21 @@ std::string MonitorSnapshot::to_json() const {
     out += "}";
   }
   out += "]";
+  if (!tenants.empty()) {
+    out += ",\"tenants\":[";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const TenantRow& t = tenants[i];
+      if (i != 0) out += ",";
+      out += "{\"id\":" + num(static_cast<std::int64_t>(t.id));
+      out += ",\"name\":" + quoted(t.name);
+      out += ",\"tier\":" + quoted(t.tier);
+      out += ",\"p95_s\":" + num(t.p95_seconds);
+      out += ",\"bytes\":" + num(t.bytes);
+      out += ",\"slo\":" + quoted(t.slo);
+      out += "}";
+    }
+    out += "]";
+  }
   out += ",\"alerts\":[";
   for (std::size_t i = 0; i < alerts.size(); ++i) {
     if (i != 0) out += ",";

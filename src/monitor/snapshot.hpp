@@ -29,6 +29,18 @@
 
 namespace dmr::monitor {
 
+/// One row of the facility's per-tenant table: identity, current
+/// placement-ladder tier, the tenant's live jitter percentile, bytes
+/// stored so far and the SLO state ("none" | "ok" | "hot").
+struct TenantRow {
+  int id = 0;
+  std::string name;
+  std::string tier;
+  double p95_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::string slo = "none";
+};
+
 struct MonitorSnapshot {
   /// Monotonic per-server snapshot number (set by the server).
   std::int64_t sequence = 0;
@@ -63,6 +75,9 @@ struct MonitorSnapshot {
   // --- in-situ plugins ---
   double plugin_seconds = 0.0;  // chain total
   std::vector<plugin::PluginStats> plugins;
+
+  // --- multi-tenant facility (empty outside facility runs) ---
+  std::vector<TenantRow> tenants;
 
   // --- alerts (filled by the server from its SLO policy) ---
   std::vector<std::string> alerts;

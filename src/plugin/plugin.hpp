@@ -48,6 +48,10 @@ struct BlockView {
 /// monitor pick it up.
 struct PluginContext {
   int shard = 0;
+  /// Facility tenant this iteration's analytics run on behalf of (0 in
+  /// single-application runs). PluginPipeline charges its per-tenant
+  /// quota accounting against this id.
+  int tenant = 0;
   std::function<void(const std::string& key, double value)> publish;
 };
 

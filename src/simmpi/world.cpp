@@ -13,14 +13,17 @@ int log2_ceil(int n) {
 }
 }  // namespace
 
-World::World(cluster::Machine& machine, int num_ranks, int ranks_per_node)
+World::World(cluster::Machine& machine, int num_ranks, int ranks_per_node,
+             int first_node)
     : machine_(&machine),
       num_ranks_(num_ranks),
       ranks_per_node_(ranks_per_node > 0 ? ranks_per_node
-                                         : machine.cores_per_node()) {
+                                         : machine.cores_per_node()),
+      first_node_(first_node) {
+  assert(first_node_ >= 0);
   assert(num_ranks_ % ranks_per_node_ == 0 &&
          "ranks must fill nodes evenly");
-  assert(num_nodes_used() <= machine.num_nodes());
+  assert(first_node_ + num_nodes_used() <= machine.num_nodes());
   barrier_ = std::make_unique<des::Barrier>(machine.engine(), num_ranks_);
 }
 

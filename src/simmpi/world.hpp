@@ -24,17 +24,24 @@ namespace dmr::simmpi {
 
 class World {
  public:
-  /// Creates a world of `num_ranks` ranks on the first
-  /// num_ranks/cores_per_node nodes of `machine`. `ranks_per_node` lets a
-  /// world use fewer cores per node than the hardware has (Damaris mode:
-  /// 11 compute ranks on a 12-core node).
-  World(cluster::Machine& machine, int num_ranks, int ranks_per_node = 0);
+  /// Creates a world of `num_ranks` ranks on the nodes
+  /// [first_node, first_node + num_ranks/ranks_per_node) of `machine`.
+  /// `ranks_per_node` lets a world use fewer cores per node than the
+  /// hardware has (Damaris mode: 11 compute ranks on a 12-core node);
+  /// `first_node` lets several worlds share one machine on disjoint node
+  /// slices (the multi-tenant facility).
+  World(cluster::Machine& machine, int num_ranks, int ranks_per_node = 0,
+        int first_node = 0);
 
   int size() const { return num_ranks_; }
   int ranks_per_node() const { return ranks_per_node_; }
   int num_nodes_used() const;
+  int first_node() const { return first_node_; }
 
-  int node_of(int rank) const { return rank / ranks_per_node_; }
+  /// Machine node index of a rank (offset by first_node).
+  int node_of(int rank) const {
+    return first_node_ + rank / ranks_per_node_;
+  }
   /// Global core index a rank runs on (node-major, dense from core 0 of
   /// its node).
   int core_of(int rank) const {
@@ -76,6 +83,7 @@ class World {
   cluster::Machine* machine_;
   int num_ranks_;
   int ranks_per_node_;
+  int first_node_;
   std::unique_ptr<des::Barrier> barrier_;
 
   // allreduce_max state (generation-managed like a cyclic barrier).

@@ -479,5 +479,115 @@ TEST(Config, RejectsMalformedMonitor) {
                    .is_ok());
 }
 
+// ------------------------------------------------------------- facility
+
+TEST(Config, ParsesFacilitySection) {
+  auto r = Config::from_string(R"(
+    <damaris>
+      <facility nodes="16" seed="7">
+        <mds model="sharded" shards="8" replicas="2"/>
+        <placement policy="elastic" slo_p95_ms="500" trip="2" clear="3"
+                   staging_gib_s="4" group_servers="6"/>
+        <tenants>
+          <tenant id="1" name="cm1-a" arrival="0" nodes="4"
+                  strategy="damaris" iterations="8" slo_p95_ms="400"/>
+          <tenant id="2" arrival="30.5" nodes="2"
+                  strategy="file-per-process"/>
+        </tenants>
+      </facility>
+    </damaris>)");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const FacilityConfig& f = r.value().facility();
+  EXPECT_TRUE(f.declared);
+  EXPECT_EQ(f.nodes, 16);
+  EXPECT_EQ(f.seed, 7u);
+  EXPECT_EQ(f.mds_model, "sharded");
+  EXPECT_EQ(f.mds_shards, 8);
+  EXPECT_EQ(f.mds_replicas, 2);
+  EXPECT_EQ(f.placement.policy, "elastic");
+  EXPECT_DOUBLE_EQ(f.placement.slo_p95_ms, 500.0);
+  EXPECT_EQ(f.placement.trip, 2);
+  EXPECT_EQ(f.placement.clear, 3);
+  EXPECT_DOUBLE_EQ(f.placement.staging_gib_s, 4.0);
+  EXPECT_EQ(f.placement.group_servers, 6);
+  ASSERT_EQ(f.tenants.size(), 2u);
+  EXPECT_EQ(f.tenants[0].id, 1);
+  EXPECT_EQ(f.tenants[0].name, "cm1-a");
+  EXPECT_EQ(f.tenants[0].nodes, 4);
+  EXPECT_EQ(f.tenants[0].strategy, "damaris");
+  EXPECT_EQ(f.tenants[0].iterations, 8);
+  EXPECT_DOUBLE_EQ(f.tenants[0].slo_p95_ms, 400.0);
+  EXPECT_EQ(f.tenants[1].name, "tenant-2");  // defaulted
+  EXPECT_DOUBLE_EQ(f.tenants[1].arrival, 30.5);
+  EXPECT_EQ(f.tenants[1].strategy, "file-per-process");
+}
+
+TEST(Config, FacilityDefaultsUndeclared) {
+  auto r = Config::from_string("<damaris/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().facility().declared);
+  // An empty declaration still flips `declared` and keeps the defaults.
+  auto e = Config::from_string("<damaris><facility/></damaris>");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_TRUE(e.value().facility().declared);
+  EXPECT_EQ(e.value().facility().mds_model, "serialized");
+  EXPECT_EQ(e.value().facility().placement.policy, "static");
+}
+
+TEST(Config, RejectsMalformedFacility) {
+  // Negative arrival time.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><tenants>
+      <tenant id="1" arrival="-1"/>
+    </tenants></facility></damaris>)")
+                   .is_ok());
+  // Duplicate tenant ids.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><tenants>
+      <tenant id="1"/><tenant id="1"/>
+    </tenants></facility></damaris>)")
+                   .is_ok());
+  // Tenant without an id.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><tenants><tenant/></tenants></facility></damaris>)")
+                   .is_ok());
+  // Unknown placement policy name.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility>
+      <placement policy="greedy"/>
+    </facility></damaris>)")
+                   .is_ok());
+  // Unknown mds model / strategy names.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><mds model="raided"/></facility></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><tenants>
+      <tenant id="1" strategy="plfs"/>
+    </tenants></facility></damaris>)")
+                   .is_ok());
+  // More replicas than shards.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><mds model="sharded" shards="2" replicas="3"/>
+    </facility></damaris>)")
+                   .is_ok());
+  // Tenant larger than the facility.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility nodes="2"><tenants>
+      <tenant id="1" nodes="4"/>
+    </tenants></facility></damaris>)")
+                   .is_ok());
+  // Zero-valued ladder parameters and a bad seed.
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><placement trip="0"/></facility></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility><placement staging_gib_s="0"/></facility></damaris>)")
+                   .is_ok());
+  EXPECT_FALSE(Config::from_string(R"(
+    <damaris><facility seed="0"/></damaris>)")
+                   .is_ok());
+}
+
 }  // namespace
 }  // namespace dmr::config

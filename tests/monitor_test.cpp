@@ -192,6 +192,35 @@ TEST(Snapshot, GoldenByteExactSerialization) {
       "\"alerts\":[\"slo: write p95 11ms > 10ms\"]}");
 }
 
+TEST(Snapshot, TenantTableOmittedWhenEmptyEmittedWhenNot) {
+  MonitorSnapshot s = sample_snapshot();
+  // No tenants (the single-app case): the key is absent entirely, so
+  // pre-facility consumers see an unchanged document.
+  ASSERT_TRUE(s.tenants.empty());
+  EXPECT_EQ(s.to_json().find("\"tenants\""), std::string::npos);
+
+  TenantRow row;
+  row.id = 3;
+  row.name = "cm1-a";
+  row.tier = "staging-tier";
+  row.p95_seconds = 0.25;
+  row.bytes = 1024;
+  row.slo = "hot";
+  s.tenants.push_back(row);
+  auto r = Json::parse(s.to_json());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Json& tenants = r.value().at("tenants");
+  ASSERT_TRUE(tenants.is_array());
+  ASSERT_EQ(tenants.size(), 1u);
+  const Json& t = tenants.at(std::size_t{0});
+  EXPECT_EQ(t.at("id").as_int(), 3);
+  EXPECT_EQ(t.at("name").as_string(), "cm1-a");
+  EXPECT_EQ(t.at("tier").as_string(), "staging-tier");
+  EXPECT_NEAR(t.at("p95_s").as_number(), 0.25, 1e-12);
+  EXPECT_EQ(t.at("bytes").as_int(), 1024);
+  EXPECT_EQ(t.at("slo").as_string(), "hot");
+}
+
 TEST(Snapshot, LedgerIsNullWithoutChecker) {
   MonitorSnapshot s = sample_snapshot();
   s.ledger_valid = false;

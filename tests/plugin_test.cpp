@@ -321,6 +321,53 @@ TEST(PluginPipeline, OnOverrunDisableRemovesTheOffender) {
   EXPECT_TRUE(pipe.stats()[0].disabled);
 }
 
+TEST(PluginPipeline, TenantQuotaCutsOnlyTheOverrunningTenant) {
+  PipelineOptions opts;
+  opts.tenant_budget_seconds = 0.005;
+  PluginPipeline pipe(opts);
+  // The slow plugin only sees tenant 7's variable, so tenant 3's
+  // iterations stay cheap while sharing the exact same chain.
+  pipe.add(std::make_unique<ScriptedPlugin>("slow", ScriptedPlugin::Mode::kSleep,
+                                            /*sleep_seconds=*/0.02),
+           {"heavy"});
+  auto after = std::make_unique<ScriptedPlugin>("after", ScriptedPlugin::Mode::kOk);
+  auto* after_raw = after.get();
+  pipe.add(std::move(after));
+
+  const auto layout = float_layout(1);
+  const auto data = float_bytes({1.0f});
+  const BlockView heavy[] = {view_of("heavy", 0, 0, layout, data)};
+  const BlockView light[] = {view_of("light", 0, 0, layout, data)};
+
+  // Tenant 7 blows its per-tenant quota: the rest of ITS chain is cut.
+  PluginContext hog;
+  hog.tenant = 7;
+  hog.publish = [](const std::string&, double) {};
+  EXPECT_TRUE(pipe.run_iteration(0, heavy, hog).is_ok());
+  EXPECT_EQ(after_raw->calls, 0);
+
+  // Tenant 3 stays under quota and runs the full chain, untouched by
+  // tenant 7's overrun.
+  PluginContext other;
+  other.tenant = 3;
+  other.publish = [](const std::string&, double) {};
+  EXPECT_TRUE(pipe.run_iteration(0, light, other).is_ok());
+  EXPECT_EQ(after_raw->calls, 1);
+
+  const auto usage = pipe.tenant_usage();
+  ASSERT_EQ(usage.size(), 2u);  // sorted by tenant id
+  EXPECT_EQ(usage[0].tenant, 3);
+  EXPECT_EQ(usage[0].overruns, 0u);
+  EXPECT_EQ(usage[0].iterations, 1u);
+  EXPECT_EQ(usage[1].tenant, 7);
+  EXPECT_EQ(usage[1].overruns, 1u);
+  EXPECT_GE(usage[1].seconds, 0.02);
+  // Fair-share throttling, not a failure: nothing was disabled and no
+  // chain-level overrun was charged.
+  EXPECT_FALSE(pipe.stats()[0].disabled);
+  EXPECT_EQ(pipe.stats()[0].overruns, 0u);
+}
+
 TEST(PluginPipeline, VariableFilterRoutesBlocks) {
   PluginPipeline pipe;
   auto only_a = std::make_unique<ScriptedPlugin>("a", ScriptedPlugin::Mode::kOk);

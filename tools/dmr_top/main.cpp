@@ -4,14 +4,17 @@
 // progress, write-jitter percentiles, degrade-FSM state, fault-ledger
 // counters, per-stage pipeline totals, outstanding async tickets and
 // the per-plugin utilization table, plus any SLO alerts the server
-// raised.
+// raised. Facility snapshots add a per-tenant table (tier on the
+// placement ladder, p95 write time, bytes, SLO state).
 //
 // Usage: dmr_top <socket> [--interval ms] [--once] [--json] [--count N]
+//        [--tenant id]
 //   --interval ms  subscription interval (default 500)
 //   --once         print a single snapshot and exit
 //   --json         raw JSON lines instead of the rendered view (pipe to
 //                  jq; combines with --once / --count)
 //   --count N      exit after N snapshots (default: stream forever)
+//   --tenant id    only show this tenant's row of the facility table
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +35,11 @@ void on_signal(int) { g_stop = 1; }
 void print_usage() {
   std::fprintf(stderr,
                "usage: dmr_top <socket> [--interval ms] [--once] [--json] "
-               "[--count N]\n");
+               "[--count N] [--tenant id]\n");
 }
+
+/// --tenant filter; < 0 shows every row of the facility table.
+int g_tenant_filter = -1;
 
 std::string fixed_ms(double seconds) {
   char buf[32];
@@ -119,6 +125,23 @@ void render(const Json& s) {
     }
   }
 
+  const Json& tenants = s.at("tenants");
+  if (tenants.is_array() && tenants.size() > 0) {
+    std::printf("tenants:\n");
+    std::printf("  %4s %-16s %-14s %9s %12s %s\n", "id", "name", "tier",
+                "p95 ms", "bytes", "slo");
+    for (const Json& t : tenants.items()) {
+      const long long id = static_cast<long long>(t.at("id").as_int());
+      if (g_tenant_filter >= 0 && id != g_tenant_filter) continue;
+      std::printf("  %4lld %-16s %-14s %9.3f %12lld %s\n", id,
+                  t.at("name").as_string().c_str(),
+                  t.at("tier").as_string().c_str(),
+                  t.at("p95_s").as_number() * 1e3,
+                  static_cast<long long>(t.at("bytes").as_int()),
+                  t.at("slo").as_string().c_str());
+    }
+  }
+
   const Json& alerts = s.at("alerts");
   for (const Json& a : alerts.items()) {
     std::printf("ALERT: %s\n", a.as_string().c_str());
@@ -151,6 +174,12 @@ int main(int argc, char** argv) {
       count = std::atol(argv[++i]);
       if (count < 1) {
         std::fprintf(stderr, "dmr_top: bad --count\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--tenant") == 0 && i + 1 < argc) {
+      g_tenant_filter = std::atoi(argv[++i]);
+      if (g_tenant_filter < 0) {
+        std::fprintf(stderr, "dmr_top: bad --tenant\n");
         return 2;
       }
     } else if (arg[0] == '-') {
